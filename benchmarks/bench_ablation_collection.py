@@ -1,0 +1,60 @@
+"""Ablation — batched multi-run collection vs single-run multiplexing.
+
+The paper re-runs each application 11 times to cover 44 events with 4
+registers.  The run-time-friendly alternative — time-multiplexing the
+register file in one run — extrapolates counts from a duty cycle and
+degrades sample fidelity.  This bench trains identical detectors on both
+collections, and also quantifies the cost of *not* destroying containers
+between runs (the paper's contamination concern).
+"""
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import HMDDetector
+from repro.ml.validation import app_level_split
+from repro.workloads.benign import BENIGN_FAMILIES
+from repro.workloads.corpus import CorpusBuilder
+from repro.workloads.malware import MALWARE_FAMILIES
+
+FAMILIES = BENIGN_FAMILIES + MALWARE_FAMILIES
+
+
+def _evaluate(corpus):
+    split = app_level_split(corpus, 0.7, seed=7)
+    detector = HMDDetector(DetectorConfig("REPTree", "general", 8))
+    detector.fit(split.train)
+    return detector.evaluate(split.test)
+
+
+def test_ablation_collection_strategy(benchmark):
+    def run():
+        results = {}
+        for mode in ("batched", "multiplexed"):
+            corpus = CorpusBuilder(
+                FAMILIES, seed=2018, windows_per_app=24, collection=mode
+            ).build()
+            results[mode] = _evaluate(corpus)
+        results["contaminated"] = _evaluate(
+            CorpusBuilder(
+                FAMILIES, seed=2018, windows_per_app=24, destroy_containers=False
+            ).build()
+        )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nAblation: collection strategy (REPTree @8HPC)")
+    for mode, scores in results.items():
+        print(f"  {mode:14s} acc={scores.accuracy:.3f} auc={scores.auc:.3f}")
+
+    # All collection modes yield usable detectors...
+    for scores in results.values():
+        assert scores.accuracy > 0.6
+    # ...and the batched protocol is at least competitive with the
+    # duty-cycle-extrapolated multiplexed one.
+    assert results["batched"].performance >= results["multiplexed"].performance - 0.05
+    # Container reuse looks *better* — suspiciously so: every malware run
+    # raises the shared container's noise level, so noise level itself
+    # becomes a class-correlated (leaked) feature.  The inflated accuracy
+    # is an artifact of the contaminated environment, not detector skill
+    # — precisely why the paper destroys the container after each run.
+    assert results["contaminated"].accuracy > results["batched"].accuracy

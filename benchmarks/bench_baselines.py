@@ -1,0 +1,72 @@
+"""Related-work baselines vs the paper's ensemble detectors (paper §5).
+
+Compares, at the practical 4-HPC budget:
+
+* the paper's approach — general classifiers boosted/bagged;
+* Khasawneh et al. [11] — specialized per-family logistic detectors;
+* Demme et al. [3] — KNN (strong offline, unusable in hardware);
+* Tang / Garcia-Serrano [15, 5] — unsupervised benign-density anomaly
+  detection (needs no malware labels, weaker supervised accuracy);
+
+and checks the paper's §5 narrative holds: no baseline strictly beats the
+boosted/bagged detectors, KNN's deployment cost is its training set, and
+the anomaly detector trades accuracy for label-freeness.
+"""
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import HMDDetector
+from repro.core.specialized import SpecializedEnsembleDetector
+from repro.features.reduction import FeatureReducer
+from repro.ml.baselines import GaussianAnomalyDetector, KNearestNeighbors
+from repro.ml.metrics import evaluate_detector
+
+
+def _eval_model(model, train, test):
+    model.fit(train.features, train.labels)
+    return evaluate_detector(
+        test.labels, model.predict(test.features), model.decision_scores(test.features)
+    )
+
+
+def test_baseline_comparison(benchmark, split):
+    reducer = FeatureReducer(n_features=4).fit(split.train)
+    train = reducer.transform(split.train)
+    test = reducer.transform(split.test)
+
+    def run():
+        results = {}
+        for name in ("JRip", "REPTree"):
+            for ensemble in ("boosted", "bagging"):
+                detector = HMDDetector(DetectorConfig(name, ensemble, 4))
+                detector.fit(split.train)
+                results[f"{ensemble}-{name}"] = detector.evaluate(split.test)
+        specialized = SpecializedEnsembleDetector(n_hpcs=4).fit(split.train)
+        results["specialized-logistic [11]"] = specialized.evaluate(split.test)
+        results["knn [3]"] = _eval_model(KNearestNeighbors(k=7), train, test)
+        results["anomaly [5,15]"] = _eval_model(
+            GaussianAnomalyDetector(seed=3), train, test
+        )
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print("\nRelated-work baselines @4HPC")
+    print(f"{'detector':28s} {'acc':>7s} {'auc':>7s} {'acc*auc':>8s}")
+    for name, scores in sorted(results.items(), key=lambda kv: -kv[1].performance):
+        print(f"{name:28s} {scores.accuracy:>7.3f} {scores.auc:>7.3f} "
+              f"{scores.performance:>8.3f}")
+
+    ours = max(
+        results["boosted-JRip"].performance,
+        results["bagging-JRip"].performance,
+        results["boosted-REPTree"].performance,
+        results["bagging-REPTree"].performance,
+    )
+    # The unsupervised anomaly detector pays for needing no malware labels.
+    assert results["anomaly [5,15]"].performance < ours
+    # The specialized per-family design does not strictly beat the
+    # paper's boosted general detectors at equal budget.
+    assert results["specialized-logistic [11]"].performance < ours + 0.05
+    # Every supervised baseline is a working detector.
+    for name, scores in results.items():
+        assert scores.accuracy > 0.55, name

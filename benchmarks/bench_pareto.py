@@ -1,0 +1,61 @@
+"""Design-space analysis: Pareto front and architectural recommendation.
+
+The paper's conclusion argues detectors must be compared "by taking all
+of these parameters into consideration" (performance, latency, area) and
+that the results guide which HPCs future architectures should implement.
+This bench joins the cached evaluation and hardware grids, extracts the
+Pareto-optimal detector set, adds a significance check on the headline
+comparison, and prints the recommended counter sets.
+"""
+
+import numpy as np
+
+from repro.analysis.pareto import join_records, pareto_front, pareto_table, recommend_counters
+from repro.core.config import DetectorConfig
+from repro.core.detector import HMDDetector
+from repro.ml.stats import bootstrap_metric_ci, mcnemar_test
+from repro.ml.metrics import roc_auc
+
+
+def test_pareto_design_space(benchmark, grid_records, hardware_records, ranking, split):
+    points = join_records(grid_records, hardware_records)
+    front = benchmark.pedantic(pareto_front, args=(points,), rounds=20, iterations=1)
+
+    print()
+    print(pareto_table(points))
+    print(f"\nPareto-optimal detectors: {len(front)}/{len(points)}")
+
+    # The front must contain both extremes of the trade-off: something
+    # near-free (OneR-like) and something high-performance.
+    assert 1 <= len(front) < len(points)
+    assert min(p.area_percent for p in front) <= min(p.area_percent for p in points) + 1e-9
+    assert max(p.performance for p in front) == max(p.performance for p in points)
+    # The MLP's general detector never wins the cost-aware comparison
+    # outright: if it is on the front it is there for performance only,
+    # and cheaper near-equals exist.
+    mlp_general = [p for p in points if p.classifier == "MLP" and p.ensemble == "general"]
+    cheapest_front_area = min(p.area_percent for p in front)
+    assert all(p.area_percent > 3 * cheapest_front_area for p in mlp_general)
+
+    print("\nRecommended counters for future architectures:")
+    for budget in (2, 4, 8):
+        events = recommend_counters(ranking, budget)
+        print(f"  {budget} registers: {', '.join(events)}")
+
+    # Statistical check on the paper's headline: 2HPC-boosted REPTree vs
+    # 8HPC general REPTree on identical test windows.
+    boosted2 = HMDDetector(DetectorConfig("REPTree", "boosted", 2)).fit(split.train)
+    general8 = HMDDetector(DetectorConfig("REPTree", "general", 8)).fit(split.train)
+    test = split.test
+    pred_a = boosted2.predict(test)
+    pred_b = general8.predict(test)
+    outcome = mcnemar_test(test.labels, pred_a, pred_b)
+    ci = bootstrap_metric_ci(
+        roc_auc, test.labels, boosted2.decision_scores(test),
+        groups=np.asarray(test.app_ids), n_resamples=300,
+    )
+    print(f"\nMcNemar 2HPC-Boosted vs 8HPC-General REPTree: "
+          f"b={outcome.b} c={outcome.c} p={outcome.p_value:.3f}")
+    print(f"2HPC-Boosted REPTree AUC (app-level bootstrap): {ci}")
+    assert 0.0 <= outcome.p_value <= 1.0
+    assert ci.low <= ci.point <= ci.high

@@ -1,0 +1,24 @@
+"""Table 1 — the sixteen most important HPCs by correlation evaluation.
+
+Regenerates the paper's feature ranking on the synthetic corpus and
+benchmarks the correlation-attribute-evaluation pass over all 44 events.
+"""
+
+from repro.analysis.report import table1_table
+from repro.features import rank_features
+from repro.hpc import TABLE1_RANKED_EVENTS
+
+
+def test_table1_feature_ranking(benchmark, split, ranking):
+    result = benchmark.pedantic(
+        rank_features, args=(split.train,), rounds=3, iterations=1
+    )
+    print()
+    print(table1_table(result, k=16))
+    overlap = set(result.top(16)) & set(TABLE1_RANKED_EVENTS)
+    print(f"\noverlap with the paper's Table 1: {len(overlap)}/16 events")
+    print("paper-only:", sorted(set(TABLE1_RANKED_EVENTS) - set(result.top(16))))
+    # shape checks: branch/TLB events lead; raw cycle counts do not rank
+    assert result.names[0] in ("branch_instructions", "iTLB_load_misses")
+    assert "cpu_cycles" not in result.top(8)
+    assert len(overlap) >= 8

@@ -1,0 +1,54 @@
+"""Table 3 — hardware implementation cost of the detectors.
+
+Renders the latency (cycles @ 10 ns) and area (% of an OpenSPARC core)
+grid for 8HPC-general, 4HPC-Boosted and 2HPC-Boosted variants of every
+classifier, and benchmarks one model-to-hardware lowering.
+"""
+
+from repro.analysis.report import table3_table
+from repro.core.config import DetectorConfig
+from repro.core.detector import HMDDetector
+from repro.hardware import lower
+
+
+def test_table3_hardware_costs(benchmark, split, hardware_records):
+    detector = HMDDetector(DetectorConfig("MLP", "general", 8)).fit(split.train)
+    benchmark.pedantic(lower, args=(detector.model,), rounds=5, iterations=1)
+
+    print()
+    print(table3_table(hardware_records))
+
+    by_key = {(r.classifier, r.ensemble, r.n_hpcs): r for r in hardware_records}
+
+    # Shape check 1: OneR is the cheapest and fastest general detector
+    # (paper: 1 cycle).
+    assert by_key[("OneR", "general", 8)].latency_cycles == 1
+
+    # Shape check 2: JRip classifies in a handful of cycles (paper: 4).
+    assert by_key[("JRip", "general", 8)].latency_cycles <= 6
+
+    # Shape check 3: the MLP dominates both latency and area among the
+    # general detectors (paper: 302 cycles, 61% area).
+    mlp = by_key[("MLP", "general", 8)]
+    for classifier in ("BayesNet", "J48", "JRip", "OneR", "REPTree", "SGD", "SMO"):
+        other = by_key[(classifier, "general", 8)]
+        assert mlp.latency_cycles > other.latency_cycles, classifier
+        assert mlp.area_percent > 3 * other.area_percent, classifier
+
+    # Shape check 4 (the paper's §4.4 highlight): the 2HPC Boosted-MLP
+    # needs substantially *less* area than the 8HPC general MLP
+    # (paper: ~19% reduction).
+    assert by_key[("MLP", "boosted", 2)].area_percent < 0.9 * mlp.area_percent
+
+    # Shape check 5: boosting raises latency (sequential member
+    # evaluation) for every classifier.
+    for classifier in ("BayesNet", "J48", "JRip", "OneR", "REPTree", "SGD", "SMO"):
+        assert (
+            by_key[(classifier, "boosted", 4)].latency_cycles
+            > by_key[(classifier, "general", 8)].latency_cycles
+        ), classifier
+
+    # Shape check 6: every detector finishes orders of magnitude inside
+    # the 10 ms sampling deadline.
+    for record in hardware_records:
+        assert record.latency_ns < 1e5  # < 100 us

@@ -1,0 +1,90 @@
+"""Shared benchmark fixtures: corpus, splits, and the cached result grid.
+
+The paper's full evaluation grid (96 detector variants) takes minutes to
+train, so it is computed once per machine and cached as JSON next to this
+file; every bench then re-renders its table from the cache and benchmarks
+a representative computation.  Delete ``.bench_cache`` to force a
+recompute (e.g. after changing the workload model).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.matrix import MatrixRunner, load_records, paper_grid, save_records, table3_grid
+from repro.core.config import DetectorConfig
+from repro.features import rank_features
+from repro.ml.validation import app_level_split
+from repro.workloads import default_corpus
+
+CACHE_DIR = Path(__file__).parent / ".bench_cache"
+#: Bump when the workload model or classifiers change materially.
+CACHE_VERSION = "v1"
+
+CORPUS_SEED = 2018
+WINDOWS_PER_APP = 40
+SPLIT_SEED = 7
+
+#: Figure 4's detector selections.
+FIG4A_CONFIGS = [
+    DetectorConfig(name, "bagging", 4) for name in ("BayesNet", "JRip", "MLP", "OneR")
+]
+FIG4B_CONFIGS = [
+    DetectorConfig("JRip", "general", 8),
+    DetectorConfig("JRip", "boosted", 2),
+    DetectorConfig("OneR", "general", 8),
+    DetectorConfig("OneR", "boosted", 2),
+]
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return default_corpus(seed=CORPUS_SEED, windows_per_app=WINDOWS_PER_APP)
+
+
+@pytest.fixture(scope="session")
+def split(corpus):
+    return app_level_split(corpus, 0.7, seed=SPLIT_SEED)
+
+
+@pytest.fixture(scope="session")
+def ranking(split):
+    return rank_features(split.train)
+
+
+@pytest.fixture(scope="session")
+def runner(corpus):
+    return MatrixRunner(corpus, train_fraction=0.7, seeds=(SPLIT_SEED,))
+
+
+def _cached(name: str, compute):
+    CACHE_DIR.mkdir(exist_ok=True)
+    path = CACHE_DIR / f"{CACHE_VERSION}_{name}.json"
+    if path.exists():
+        return load_records(path)
+    records = compute()
+    save_records(path, records)
+    return records
+
+
+@pytest.fixture(scope="session")
+def grid_records(runner):
+    """All 96 eval records behind Figures 3/5 and Table 2 (cached)."""
+    return _cached("grid", lambda: runner.evaluate_grid(paper_grid()))
+
+
+@pytest.fixture(scope="session")
+def hardware_records(runner):
+    """The 24 hardware records of Table 3 (cached)."""
+    return _cached("hardware", lambda: runner.hardware_grid(table3_grid()))
+
+
+@pytest.fixture(scope="session")
+def roc_records(runner):
+    """Figure 4's ROC curves (cached)."""
+    return _cached(
+        "roc", lambda: [runner.roc(c) for c in FIG4A_CONFIGS + FIG4B_CONFIGS]
+    )

@@ -1,0 +1,81 @@
+"""Evasion study: what happens when malware mimics benign behaviour?
+
+Trains the paper's detectors on honest malware, then sweeps the evasion
+strength of each malware family — the fraction of payload activity an
+attacker replaces with benign-looking cover work — and plots (as a text
+table) the two-sided trade-off:
+
+* the defender's detection recall erodes with disguise strength;
+* the attacker's payload throughput erodes with it too.
+
+The interesting region is where both curves are mid-range: a detector
+that forces the attacker below ~50% payload throughput has made the
+attack materially more expensive even when some samples slip through.
+
+Run:
+    python examples/evasion_study.py
+"""
+
+from repro import DetectorConfig, HMDDetector, app_level_split, default_corpus
+from repro.workloads import (
+    BENIGN_FAMILIES,
+    MALWARE_FAMILIES,
+    CorpusBuilder,
+    evasive_families,
+    payload_throughput,
+)
+
+STRENGTHS = (0.0, 0.2, 0.4, 0.6, 0.8)
+
+
+def main() -> None:
+    corpus = default_corpus(seed=2018, windows_per_app=40)
+    split = app_level_split(corpus, train_fraction=0.7, seed=7)
+
+    detectors = {
+        name: HMDDetector(config).fit(split.train)
+        for name, config in (
+            ("8HPC general REPTree", DetectorConfig("REPTree", "general", 8)),
+            ("4HPC bagging JRip", DetectorConfig("JRip", "bagging", 4)),
+            ("2HPC boosted REPTree", DetectorConfig("REPTree", "boosted", 2)),
+        )
+    }
+
+    print("malware recall vs evasion strength "
+          "(attacker's remaining payload in the header)")
+    header = " ".join(
+        f"{f'{s:.0%}/{payload_throughput(s):.0%}':>9s}" for s in STRENGTHS
+    )
+    print(f"{'detector':24s} {header}")
+
+    per_family_drop: dict[str, float] = {}
+    for name, detector in detectors.items():
+        recalls = []
+        for strength in STRENGTHS:
+            families = BENIGN_FAMILIES + evasive_families(MALWARE_FAMILIES, strength)
+            evaded = CorpusBuilder(families, seed=4242, windows_per_app=16).build()
+            malware_rows = evaded.labels == 1
+            flags = detector.predict(evaded)
+            recalls.append(float(flags[malware_rows].mean()))
+            if strength == 0.6 and name.startswith("8HPC"):
+                app_family = [evaded.app_families[a] for a in evaded.app_ids]
+                for family in set(app_family):
+                    if not family.endswith("_evasive60"):
+                        continue
+                    rows = [i for i, f in enumerate(app_family) if f == family]
+                    per_family_drop[family] = float(flags[rows].mean())
+        print(f"{name:24s} " + " ".join(f"{r:>9.2f}" for r in recalls))
+
+    print("\nhardest families to keep detecting at 60% evasion (8HPC REPTree):")
+    for family, recall in sorted(per_family_drop.items(), key=lambda kv: kv[1])[:4]:
+        print(f"  {family:40s} recall={recall:.2f}")
+
+    print(
+        "\nreading: at 40% evasion the attacker has already given up 40% of "
+        "payload throughput\nwhile detectors still catch roughly half of the "
+        "malicious windows — disguise is not free."
+    )
+
+
+if __name__ == "__main__":
+    main()

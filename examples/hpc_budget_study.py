@@ -1,0 +1,54 @@
+"""HPC budget study: the accuracy/robustness vs counter-count trade-off.
+
+Sweeps the HPC budget (16/8/4/2) for several classifiers in general,
+boosted and bagging form — a miniature of the paper's Figures 3 and 5 —
+and prints how much of the 16-HPC performance each small-budget ensemble
+detector recovers.
+
+Run:
+    python examples/hpc_budget_study.py
+"""
+
+from repro import DetectorConfig, MatrixRunner, default_corpus
+from repro.analysis import figure3_table, figure5_table, improvement_summary
+
+CLASSIFIERS = ("BayesNet", "JRip", "REPTree", "SMO")
+
+
+def main() -> None:
+    corpus = default_corpus(seed=2018, windows_per_app=40)
+    runner = MatrixRunner(corpus, train_fraction=0.7, seeds=(7,))
+
+    configs = [
+        DetectorConfig(classifier, ensemble, n_hpcs)
+        for classifier in CLASSIFIERS
+        for n_hpcs in (16, 8, 4, 2)
+        for ensemble in ("general", "boosted", "bagging")
+    ]
+    print(f"evaluating {len(configs)} detector variants...")
+    records = runner.evaluate_grid(configs)
+
+    print()
+    print(figure3_table(records))
+    print()
+    print(figure5_table(records))
+    print()
+    print(improvement_summary(records))
+
+    # Budget recovery: what fraction of each classifier's 16-HPC
+    # performance do the 2-HPC detectors reach?
+    by_key = {(r.classifier, r.ensemble, r.n_hpcs): r for r in records}
+    print("\n2-HPC performance as a fraction of the 16-HPC general detector:")
+    for classifier in CLASSIFIERS:
+        base = by_key[(classifier, "general", 16)].performance
+        general = by_key[(classifier, "general", 2)].performance / base
+        boosted = by_key[(classifier, "boosted", 2)].performance / base
+        bagging = by_key[(classifier, "bagging", 2)].performance / base
+        print(
+            f"  {classifier:10s} general={general:.0%}  "
+            f"boosted={boosted:.0%}  bagging={bagging:.0%}"
+        )
+
+
+if __name__ == "__main__":
+    main()

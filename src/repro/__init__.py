@@ -1,0 +1,105 @@
+"""repro — ensemble learning for run-time hardware-based malware detection.
+
+A full reproduction of Sayadi et al., *"Ensemble Learning for Effective
+Run-Time Hardware-Based Malware Detection: A Comprehensive Analysis and
+Classification"* (DAC 2018), built on a synthetic hardware-performance-
+counter substrate.
+
+Subpackages:
+
+* :mod:`repro.hpc` — 44-event catalogue, microarchitecture model, counter
+  register file, Perf-style batched/multiplexed collection, LXC contexts.
+* :mod:`repro.workloads` — benign archetypes and malware families,
+  corpus builder, dataset container with CSV/ARFF I/O.
+* :mod:`repro.ml` — the eight WEKA classifiers, AdaBoost.M1, Bagging,
+  metrics, and the paper's application-level validation protocol.
+* :mod:`repro.features` — correlation attribute evaluation and top-k
+  feature reduction (Table 1).
+* :mod:`repro.core` — detector configs, the end-to-end pipeline, and the
+  run-time streaming monitor.
+* :mod:`repro.hardware` — HLS-style latency/area estimation (Table 3).
+* :mod:`repro.analysis` — the evaluation matrix and table/figure
+  renderers for every experiment in the paper.
+
+Quickstart::
+
+    from repro import DetectorConfig, HMDDetector, app_level_split, default_corpus
+
+    corpus = default_corpus()
+    split = app_level_split(corpus, train_fraction=0.7, seed=7)
+    detector = HMDDetector(DetectorConfig("REPTree", "boosted", n_hpcs=2))
+    detector.fit(split.train)
+    print(detector.evaluate(split.test))
+"""
+
+from repro.analysis import MatrixRunner, pareto_front, paper_grid, table3_grid
+from repro.core import (
+    CLASSIFIER_NAMES,
+    HPC_BUDGETS,
+    DetectorConfig,
+    HMDDetector,
+    RuntimeMonitor,
+    SpecializedEnsembleDetector,
+)
+from repro.features import FeatureReducer, extract, rank_features
+from repro.hardware import FabricConfig, HardwareDesign, generate, lower
+from repro.hpc import ALL_EVENTS, TABLE1_RANKED_EVENTS
+from repro.ml import (
+    BASE_CLASSIFIERS,
+    AdaBoostM1,
+    Bagging,
+    VotingEnsemble,
+    app_level_split,
+    bootstrap_metric_ci,
+    make_classifier,
+    mcnemar_test,
+)
+from repro.workloads import (
+    BENIGN_FAMILIES,
+    MALWARE_FAMILIES,
+    CorpusBuilder,
+    Dataset,
+    InterferenceModel,
+    default_corpus,
+    evasive_families,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_EVENTS",
+    "BASE_CLASSIFIERS",
+    "BENIGN_FAMILIES",
+    "CLASSIFIER_NAMES",
+    "HPC_BUDGETS",
+    "MALWARE_FAMILIES",
+    "TABLE1_RANKED_EVENTS",
+    "AdaBoostM1",
+    "Bagging",
+    "CorpusBuilder",
+    "Dataset",
+    "DetectorConfig",
+    "FabricConfig",
+    "FeatureReducer",
+    "HMDDetector",
+    "HardwareDesign",
+    "InterferenceModel",
+    "MatrixRunner",
+    "RuntimeMonitor",
+    "SpecializedEnsembleDetector",
+    "VotingEnsemble",
+    "__version__",
+    "app_level_split",
+    "bootstrap_metric_ci",
+    "default_corpus",
+    "evasive_families",
+    "extract",
+    "generate",
+    "lower",
+    "make_classifier",
+    "mcnemar_test",
+    "paper_grid",
+    "pareto_front",
+    "rank_features",
+    "table3_grid",
+]

@@ -1,0 +1,58 @@
+"""Evaluation matrix runners and table/figure renderers (paper §4)."""
+
+from repro.analysis.crossval import (
+    CrossValRecord,
+    cross_validated_record,
+    stability_table,
+)
+from repro.analysis.matrix import (
+    MatrixRunner,
+    load_records,
+    paper_grid,
+    save_records,
+    table3_grid,
+)
+from repro.analysis.pareto import (
+    DesignPoint,
+    join_records,
+    pareto_front,
+    pareto_table,
+    recommend_counters,
+)
+from repro.analysis.records import EvalRecord, HardwareRecord, RocRecord
+from repro.analysis.report import (
+    figure3_table,
+    figure4_report,
+    figure5_table,
+    improvement_summary,
+    roc_ascii,
+    table1_table,
+    table2_table,
+    table3_table,
+)
+
+__all__ = [
+    "CrossValRecord",
+    "DesignPoint",
+    "EvalRecord",
+    "HardwareRecord",
+    "MatrixRunner",
+    "RocRecord",
+    "figure3_table",
+    "figure4_report",
+    "figure5_table",
+    "improvement_summary",
+    "join_records",
+    "load_records",
+    "pareto_front",
+    "pareto_table",
+    "recommend_counters",
+    "paper_grid",
+    "roc_ascii",
+    "cross_validated_record",
+    "save_records",
+    "stability_table",
+    "table1_table",
+    "table2_table",
+    "table3_table",
+]

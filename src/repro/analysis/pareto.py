@@ -1,0 +1,106 @@
+"""Pareto analysis over detection performance and hardware cost.
+
+The paper's conclusion: "it is important to compare classifiers by
+taking all of these parameters into consideration" (accuracy, latency,
+area).  This module makes that comparison executable: it joins the
+evaluation records (ACC×AUC) with the hardware records (latency, area)
+and extracts the Pareto-optimal detector set, plus the architectural
+recommendation the paper motivates — which HPC events are worth
+implementing for a given counter budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.records import EvalRecord, HardwareRecord
+from repro.features.correlation import FeatureRanking
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One detector in the performance/latency/area design space."""
+
+    name: str
+    classifier: str
+    ensemble: str
+    n_hpcs: int
+    performance: float
+    latency_cycles: int
+    area_percent: float
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance: no worse on all axes, better on one."""
+        no_worse = (
+            self.performance >= other.performance
+            and self.latency_cycles <= other.latency_cycles
+            and self.area_percent <= other.area_percent
+        )
+        better = (
+            self.performance > other.performance
+            or self.latency_cycles < other.latency_cycles
+            or self.area_percent < other.area_percent
+        )
+        return no_worse and better
+
+
+def join_records(
+    eval_records: list[EvalRecord], hardware_records: list[HardwareRecord]
+) -> list[DesignPoint]:
+    """Join evaluation and hardware records on (classifier, ensemble, hpcs)."""
+    hw = {(r.classifier, r.ensemble, r.n_hpcs): r for r in hardware_records}
+    points = []
+    for record in eval_records:
+        key = (record.classifier, record.ensemble, record.n_hpcs)
+        if key not in hw:
+            continue
+        cost = hw[key]
+        points.append(
+            DesignPoint(
+                name=record.name,
+                classifier=record.classifier,
+                ensemble=record.ensemble,
+                n_hpcs=record.n_hpcs,
+                performance=record.performance,
+                latency_cycles=cost.latency_cycles,
+                area_percent=cost.area_percent,
+            )
+        )
+    return points
+
+
+def pareto_front(points: list[DesignPoint]) -> list[DesignPoint]:
+    """Non-dominated design points, sorted by descending performance."""
+    front = [
+        p for p in points if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return sorted(front, key=lambda p: -p.performance)
+
+
+def pareto_table(points: list[DesignPoint]) -> str:
+    """Render a design-point list in Table 3 style, front first."""
+    front = set(id(p) for p in pareto_front(points))
+    lines = [
+        "Design space (perf = ACC x AUC; * = Pareto-optimal)",
+        f"{'detector':26s} {'perf':>6s} {'cycles':>7s} {'area %':>7s}",
+    ]
+    for p in sorted(points, key=lambda p: -p.performance):
+        marker = "*" if id(p) in front else " "
+        lines.append(
+            f"{p.name:26s} {p.performance:>6.3f} {p.latency_cycles:>7d} "
+            f"{p.area_percent:>6.1f}% {marker}"
+        )
+    return "\n".join(lines)
+
+
+def recommend_counters(
+    ranking: FeatureRanking, budget: int
+) -> tuple[str, ...]:
+    """The architectural recommendation of the paper's conclusion.
+
+    Given the importance ranking and a hardware budget of counter
+    registers, return the events a future architecture should implement:
+    the top-``budget`` ranked events (the same prefix rule the paper's
+    8/4/2-HPC detectors use).
+    """
+    return ranking.top(budget)

@@ -1,0 +1,100 @@
+"""Result records produced by the evaluation and hardware matrices."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True)
+class EvalRecord:
+    """One evaluated detector variant (a cell of Figures 3/5, Table 2).
+
+    Attributes:
+        classifier: WEKA name of the base learner.
+        ensemble: ``"general"``, ``"boosted"`` or ``"bagging"``.
+        n_hpcs: HPC feature budget.
+        accuracy: test accuracy on unknown applications, in [0, 1].
+        auc: area under the ROC curve (the paper's robustness metric).
+        n_seeds: how many split seeds the record averages over.
+    """
+
+    classifier: str
+    ensemble: str
+    n_hpcs: int
+    accuracy: float
+    auc: float
+    n_seeds: int = 1
+
+    @property
+    def performance(self) -> float:
+        """ACC×AUC, the paper's §4.3 combined metric."""
+        return self.accuracy * self.auc
+
+    @property
+    def name(self) -> str:
+        if self.ensemble == "general":
+            return f"{self.n_hpcs}HPC-{self.classifier}"
+        suffix = "Boosted" if self.ensemble == "boosted" else "Bagging"
+        return f"{self.n_hpcs}HPC-{suffix}-{self.classifier}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EvalRecord":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class HardwareRecord:
+    """One hardware implementation estimate (a cell of Table 3)."""
+
+    classifier: str
+    ensemble: str
+    n_hpcs: int
+    latency_cycles: int
+    area_percent: float
+    luts: int
+    ffs: int
+    dsps: int
+    brams: int
+
+    @property
+    def latency_ns(self) -> float:
+        return self.latency_cycles * 10.0
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HardwareRecord":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RocRecord:
+    """ROC curve points of one detector (Figure 4 material)."""
+
+    classifier: str
+    ensemble: str
+    n_hpcs: int
+    fpr: tuple[float, ...]
+    tpr: tuple[float, ...]
+    auc: float
+
+    @property
+    def name(self) -> str:
+        if self.ensemble == "general":
+            return f"{self.n_hpcs}HPC-{self.classifier}"
+        suffix = "Boosted" if self.ensemble == "boosted" else "Bagging"
+        return f"{self.n_hpcs}HPC-{suffix}-{self.classifier}"
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RocRecord":
+        data = dict(data)
+        data["fpr"] = tuple(data["fpr"])
+        data["tpr"] = tuple(data["tpr"])
+        return cls(**data)

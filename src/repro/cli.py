@@ -1,0 +1,294 @@
+"""Command-line interface: build corpora, train detectors, render tables.
+
+Installed as ``repro-hmd``.  Subcommands:
+
+* ``corpus``   — build the synthetic corpus and write it to CSV/ARFF.
+* ``rank``     — reproduce Table 1 (feature ranking).
+* ``evaluate`` — train/evaluate one detector variant.
+* ``matrix``   — run a slice of the paper's evaluation grid.
+* ``hardware`` — reproduce Table 3 (hardware cost estimates).
+* ``monitor``  — run-time detection demo on freshly executed applications.
+* ``verilog``  — emit RTL for a trained detector.
+* ``crossval`` — cross-validated scores with error bars.
+* ``evasion``  — malware recall vs evasion strength.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    MatrixRunner,
+    figure3_table,
+    figure5_table,
+    improvement_summary,
+    table1_table,
+    table2_table,
+    table3_grid,
+    table3_table,
+)
+from repro.core import CLASSIFIER_NAMES, DetectorConfig, HMDDetector, RuntimeMonitor
+from repro.core.config import ENSEMBLE_MODES
+from repro.features import rank_features
+from repro.hpc import ContainerPool
+from repro.ml import app_level_split
+from repro.workloads import BENIGN_FAMILIES, MALWARE_FAMILIES, default_corpus
+from repro.workloads.dataset import MALWARE
+
+
+def _add_corpus_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2018, help="corpus seed")
+    parser.add_argument(
+        "--windows", type=int, default=40, help="10 ms windows collected per app"
+    )
+
+
+def _build_corpus(args: argparse.Namespace):
+    return default_corpus(seed=args.seed, windows_per_app=args.windows)
+
+
+def cmd_corpus(args: argparse.Namespace) -> int:
+    """Build the corpus, print its summary, optionally export it."""
+    corpus = _build_corpus(args)
+    print(corpus.summary())
+    if args.csv:
+        corpus.to_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.arff:
+        corpus.to_arff(args.arff)
+        print(f"wrote {args.arff}")
+    return 0
+
+
+def cmd_rank(args: argparse.Namespace) -> int:
+    """Reproduce Table 1: the ranked most-important HPC events."""
+    corpus = _build_corpus(args)
+    split = app_level_split(corpus, 0.7, seed=args.split_seed)
+    ranking = rank_features(split.train, method=args.method)
+    print(table1_table(ranking, k=args.top))
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    """Train one detector variant and print its test scores."""
+    corpus = _build_corpus(args)
+    split = app_level_split(corpus, 0.7, seed=args.split_seed)
+    config = DetectorConfig(args.classifier, args.ensemble, args.hpcs)
+    detector = HMDDetector(config).fit(split.train)
+    scores = detector.evaluate(split.test)
+    print(f"{config.name}: accuracy={scores.accuracy:.3f} auc={scores.auc:.3f} "
+          f"performance={scores.performance:.3f}")
+    print(f"monitored events: {', '.join(detector.monitored_events)}")
+    return 0
+
+
+def cmd_matrix(args: argparse.Namespace) -> int:
+    """Run a slice of the evaluation grid and print Figs 3/5, Table 2."""
+    corpus = _build_corpus(args)
+    runner = MatrixRunner(corpus, seeds=tuple(args.split_seeds))
+    configs = [
+        DetectorConfig(classifier, ensemble, n_hpcs)
+        for classifier in (args.classifiers or CLASSIFIER_NAMES)
+        for n_hpcs in args.budgets
+        for ensemble in args.ensembles
+    ]
+    records = runner.evaluate_grid(configs)
+    print(figure3_table(records))
+    print()
+    print(table2_table(records))
+    print()
+    print(figure5_table(records))
+    print()
+    print(improvement_summary(records))
+    return 0
+
+
+def cmd_hardware(args: argparse.Namespace) -> int:
+    """Reproduce Table 3: hardware latency/area estimates."""
+    corpus = _build_corpus(args)
+    runner = MatrixRunner(corpus, seeds=(args.split_seed,))
+    records = runner.hardware_grid(table3_grid())
+    print(table3_table(records))
+    return 0
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Deploy a detector and stream fresh executions through it."""
+    corpus = _build_corpus(args)
+    split = app_level_split(corpus, 0.7, seed=args.split_seed)
+    config = DetectorConfig(args.classifier, args.ensemble, args.hpcs)
+    detector = HMDDetector(config).fit(split.train)
+    monitor = RuntimeMonitor(detector, n_counters=args.counters)
+    pool = ContainerPool(seed=args.seed + 99)
+    import numpy as np
+
+    rng = np.random.default_rng(args.seed + 100)
+    correct = 0
+    total = 0
+    for family in (BENIGN_FAMILIES + MALWARE_FAMILIES)[:: args.stride]:
+        app = family.instantiate(rng)[0]
+        truth = family.label == MALWARE
+        verdict = monitor.monitor(app, args.windows, pool, is_malware=truth)
+        total += 1
+        correct += verdict.is_malware == truth
+        print(
+            f"{app.name:28s} truth={'malware' if truth else 'benign ':7s} "
+            f"verdict={'malware' if verdict.is_malware else 'benign ':7s} "
+            f"flagged={verdict.malware_fraction:.0%}"
+        )
+    print(f"\napplication-level accuracy: {correct}/{total}")
+    return 0
+
+
+def cmd_verilog(args: argparse.Namespace) -> int:
+    """Train a detector and emit its RTL implementation."""
+    from repro.hardware.verilog import generate
+
+    corpus = _build_corpus(args)
+    split = app_level_split(corpus, 0.7, seed=args.split_seed)
+    config = DetectorConfig(args.classifier, "general", args.hpcs)
+    detector = HMDDetector(config).fit(split.train)
+    text = generate(detector.model, name=args.module)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text)
+    print(f"// monitored events: {', '.join(detector.monitored_events)}")
+    return 0
+
+
+def cmd_crossval(args: argparse.Namespace) -> int:
+    """Cross-validated detector scores with fold error bars."""
+    from repro.analysis.crossval import cross_validated_record, stability_table
+
+    corpus = _build_corpus(args)
+    records = []
+    for classifier in args.classifiers or ("REPTree", "JRip", "OneR"):
+        config = DetectorConfig(classifier, args.ensemble, args.hpcs)
+        records.append(
+            cross_validated_record(corpus, config, n_folds=args.folds, seed=args.split_seed)
+        )
+    print(stability_table(records))
+    return 0
+
+
+def cmd_evasion(args: argparse.Namespace) -> int:
+    """Malware recall against evasion-strength-swept variants."""
+    from repro.workloads import evasive_families, payload_throughput
+    from repro.workloads.corpus import CorpusBuilder
+
+    corpus = _build_corpus(args)
+    split = app_level_split(corpus, 0.7, seed=args.split_seed)
+    config = DetectorConfig(args.classifier, args.ensemble, args.hpcs)
+    detector = HMDDetector(config).fit(split.train)
+    print(f"detector: {detector.name}")
+    print(f"{'strength':>9s} {'recall':>7s} {'payload kept':>13s}")
+    for strength in args.strengths:
+        families = BENIGN_FAMILIES + evasive_families(MALWARE_FAMILIES, strength)
+        evaded = CorpusBuilder(
+            families, seed=args.seed + 50, windows_per_app=max(args.windows // 2, 4)
+        ).build()
+        flags = detector.predict(evaded)
+        recall = float(flags[evaded.labels == 1].mean())
+        print(f"{strength:>9.0%} {recall:>7.2f} {payload_throughput(strength):>12.0%}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the repro-hmd argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro-hmd",
+        description="Hardware-based malware detection with ensemble learning "
+        "(DAC 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("corpus", help="build the synthetic corpus")
+    _add_corpus_args(p)
+    p.add_argument("--csv", help="write corpus to this CSV path")
+    p.add_argument("--arff", help="write corpus to this WEKA ARFF path")
+    p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser("rank", help="reproduce Table 1 (feature ranking)")
+    _add_corpus_args(p)
+    p.add_argument("--split-seed", type=int, default=7)
+    p.add_argument("--method", default="correlation",
+                   choices=("correlation", "information_gain"))
+    p.add_argument("--top", type=int, default=16)
+    p.set_defaults(func=cmd_rank)
+
+    p = sub.add_parser("evaluate", help="train and evaluate one detector")
+    _add_corpus_args(p)
+    p.add_argument("--split-seed", type=int, default=7)
+    p.add_argument("--classifier", default="REPTree", choices=CLASSIFIER_NAMES)
+    p.add_argument("--ensemble", default="general", choices=ENSEMBLE_MODES)
+    p.add_argument("--hpcs", type=int, default=4)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("matrix", help="run a slice of the evaluation grid")
+    _add_corpus_args(p)
+    p.add_argument("--split-seeds", type=int, nargs="+", default=[7])
+    p.add_argument("--classifiers", nargs="*", choices=CLASSIFIER_NAMES)
+    p.add_argument("--budgets", type=int, nargs="+", default=[16, 8, 4, 2])
+    p.add_argument("--ensembles", nargs="+", default=list(ENSEMBLE_MODES),
+                   choices=ENSEMBLE_MODES)
+    p.set_defaults(func=cmd_matrix)
+
+    p = sub.add_parser("hardware", help="reproduce Table 3 (hardware costs)")
+    _add_corpus_args(p)
+    p.add_argument("--split-seed", type=int, default=7)
+    p.set_defaults(func=cmd_hardware)
+
+    p = sub.add_parser("monitor", help="run-time detection demo")
+    _add_corpus_args(p)
+    p.add_argument("--split-seed", type=int, default=7)
+    p.add_argument("--classifier", default="REPTree", choices=CLASSIFIER_NAMES)
+    p.add_argument("--ensemble", default="boosted", choices=ENSEMBLE_MODES)
+    p.add_argument("--hpcs", type=int, default=4)
+    p.add_argument("--counters", type=int, default=4)
+    p.add_argument("--stride", type=int, default=1,
+                   help="monitor every Nth family only")
+    p.set_defaults(func=cmd_monitor)
+
+    p = sub.add_parser("verilog", help="emit RTL for a trained detector")
+    _add_corpus_args(p)
+    p.add_argument("--split-seed", type=int, default=7)
+    p.add_argument("--classifier", default="REPTree",
+                   choices=("OneR", "J48", "REPTree", "JRip", "SGD", "SMO"))
+    p.add_argument("--hpcs", type=int, default=4)
+    p.add_argument("--module", default=None, help="generated module name")
+    p.add_argument("--output", default=None, help="write RTL to this file")
+    p.set_defaults(func=cmd_verilog)
+
+    p = sub.add_parser("crossval", help="cross-validated scores with error bars")
+    _add_corpus_args(p)
+    p.add_argument("--split-seed", type=int, default=0)
+    p.add_argument("--classifiers", nargs="*", choices=CLASSIFIER_NAMES)
+    p.add_argument("--ensemble", default="general", choices=ENSEMBLE_MODES)
+    p.add_argument("--hpcs", type=int, default=4)
+    p.add_argument("--folds", type=int, default=4)
+    p.set_defaults(func=cmd_crossval)
+
+    p = sub.add_parser("evasion", help="malware recall vs evasion strength")
+    _add_corpus_args(p)
+    p.add_argument("--split-seed", type=int, default=7)
+    p.add_argument("--classifier", default="REPTree", choices=CLASSIFIER_NAMES)
+    p.add_argument("--ensemble", default="general", choices=ENSEMBLE_MODES)
+    p.add_argument("--hpcs", type=int, default=8)
+    p.add_argument("--strengths", type=float, nargs="+",
+                   default=[0.0, 0.3, 0.6])
+    p.set_defaults(func=cmd_evasion)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

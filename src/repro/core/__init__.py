@@ -1,0 +1,43 @@
+"""Core HMD framework: detector configs, pipeline, run-time monitoring."""
+
+from repro.core.config import (
+    BAGGING,
+    BOOSTED,
+    CLASSIFIER_NAMES,
+    ENSEMBLE_MODES,
+    GENERAL,
+    HPC_BUDGETS,
+    DetectorConfig,
+)
+from repro.core.detector import HMDDetector
+from repro.core.registry import build_base_classifier, build_model
+from repro.core.policies import (
+    AlarmPolicy,
+    ConsecutiveWindows,
+    EwmaAlarm,
+    MajorityVote,
+    PolicyDecision,
+)
+from repro.core.runtime import DetectionVerdict, RuntimeMonitor
+from repro.core.specialized import SpecializedEnsembleDetector
+
+__all__ = [
+    "BAGGING",
+    "BOOSTED",
+    "CLASSIFIER_NAMES",
+    "ENSEMBLE_MODES",
+    "GENERAL",
+    "HPC_BUDGETS",
+    "AlarmPolicy",
+    "ConsecutiveWindows",
+    "DetectionVerdict",
+    "DetectorConfig",
+    "EwmaAlarm",
+    "HMDDetector",
+    "MajorityVote",
+    "PolicyDecision",
+    "RuntimeMonitor",
+    "SpecializedEnsembleDetector",
+    "build_base_classifier",
+    "build_model",
+]

@@ -1,0 +1,126 @@
+"""Alarm policies: turning per-window flags into an application verdict.
+
+The detector classifies every 10 ms window independently; deployment
+needs a policy that decides *when to raise the alarm* for the running
+application.  Different policies trade detection latency against false
+alarms:
+
+* :class:`MajorityVote` — flag when the running fraction of malicious
+  windows crosses a threshold (the paper-style aggregate decision).
+* :class:`ConsecutiveWindows` — flag after k malicious windows in a row;
+  robust to isolated misclassifications, slower on bursty malware.
+* :class:`EwmaAlarm` — exponentially weighted moving average of the
+  flags; recent windows dominate, so dormant-then-active malware
+  (backdoors) is caught when it wakes up.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Outcome of applying an alarm policy to one execution's flags.
+
+    Attributes:
+        is_malware: whether the alarm fired at any point.
+        latency_windows: first window index at which it fired, or None.
+    """
+
+    is_malware: bool
+    latency_windows: int | None
+
+
+class AlarmPolicy(abc.ABC):
+    """Maps a 0/1 window-flag sequence to an alarm decision."""
+
+    @abc.abstractmethod
+    def decide(self, flags: np.ndarray) -> PolicyDecision:
+        """Evaluate the policy over one execution's window flags."""
+
+    @staticmethod
+    def _check(flags: np.ndarray) -> np.ndarray:
+        flags = np.asarray(flags)
+        if flags.ndim != 1:
+            raise ValueError("flags must be a 1-D 0/1 sequence")
+        bad = set(np.unique(flags)) - {0, 1}
+        if bad:
+            raise ValueError(f"flags must be 0/1, found {sorted(bad)}")
+        return flags.astype(float)
+
+
+class MajorityVote(AlarmPolicy):
+    """Alarm when the cumulative malicious-window fraction crosses a bar.
+
+    Args:
+        threshold: fraction of flagged windows that raises the alarm.
+        min_windows: observation windows required before a decision is
+            allowed (prevents a single early false positive from firing).
+    """
+
+    def __init__(self, threshold: float = 0.5, min_windows: int = 1) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if min_windows < 1:
+            raise ValueError("min_windows must be positive")
+        self.threshold = threshold
+        self.min_windows = min_windows
+
+    def decide(self, flags: np.ndarray) -> PolicyDecision:
+        flags = self._check(flags)
+        if flags.size == 0:
+            return PolicyDecision(is_malware=False, latency_windows=None)
+        fraction = np.cumsum(flags) / (np.arange(flags.size) + 1)
+        eligible = np.arange(flags.size) >= self.min_windows - 1
+        crossed = np.flatnonzero((fraction >= self.threshold) & eligible)
+        if crossed.size == 0:
+            return PolicyDecision(is_malware=False, latency_windows=None)
+        return PolicyDecision(is_malware=True, latency_windows=int(crossed[0]))
+
+
+class ConsecutiveWindows(AlarmPolicy):
+    """Alarm after ``k`` consecutive malicious windows."""
+
+    def __init__(self, k: int = 3) -> None:
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+
+    def decide(self, flags: np.ndarray) -> PolicyDecision:
+        flags = self._check(flags)
+        run = 0
+        for i, flag in enumerate(flags):
+            run = run + 1 if flag else 0
+            if run >= self.k:
+                return PolicyDecision(is_malware=True, latency_windows=i)
+        return PolicyDecision(is_malware=False, latency_windows=None)
+
+
+class EwmaAlarm(AlarmPolicy):
+    """Alarm when an EWMA of the flags crosses a threshold.
+
+    Args:
+        alpha: smoothing weight of the newest window (higher = jumpier).
+        threshold: EWMA level that raises the alarm.
+    """
+
+    def __init__(self, alpha: float = 0.2, threshold: float = 0.6) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if not 0.0 < threshold < 1.0:
+            raise ValueError("threshold must be in (0, 1)")
+        self.alpha = alpha
+        self.threshold = threshold
+
+    def decide(self, flags: np.ndarray) -> PolicyDecision:
+        flags = self._check(flags)
+        level = 0.0
+        for i, flag in enumerate(flags):
+            level = self.alpha * flag + (1.0 - self.alpha) * level
+            if level >= self.threshold:
+                return PolicyDecision(is_malware=True, latency_windows=i)
+        return PolicyDecision(is_malware=False, latency_windows=None)

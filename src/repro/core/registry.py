@@ -1,0 +1,50 @@
+"""Classifier registry: build trainable models from detector configs.
+
+Centralizes the hyper-parameters of every base learner (WEKA defaults,
+per paper §3.3) and wraps them in AdaBoost.M1 or Bagging when the config
+asks for an ensemble detector.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import BAGGING, BOOSTED, DetectorConfig
+from repro.ml import (
+    MLP,
+    SGD,
+    SMO,
+    AdaBoostM1,
+    Bagging,
+    BayesNet,
+    Classifier,
+    J48,
+    JRip,
+    OneR,
+    REPTree,
+)
+
+
+def build_base_classifier(name: str, seed: int = 0) -> Classifier:
+    """Instantiate a base learner with the framework's default settings."""
+    factories = {
+        "BayesNet": lambda: BayesNet(),
+        "J48": lambda: J48(),
+        "JRip": lambda: JRip(seed=seed + 1),
+        "MLP": lambda: MLP(seed=seed),
+        "OneR": lambda: OneR(),
+        "REPTree": lambda: REPTree(seed=seed + 1),
+        "SGD": lambda: SGD(epochs=120, seed=seed),
+        "SMO": lambda: SMO(seed=seed),
+    }
+    if name not in factories:
+        raise KeyError(f"unknown classifier {name!r}; choose from {sorted(factories)}")
+    return factories[name]()
+
+
+def build_model(config: DetectorConfig) -> Classifier:
+    """Build the (possibly ensemble-wrapped) model for one config."""
+    base = build_base_classifier(config.classifier, seed=config.seed)
+    if config.ensemble == BOOSTED:
+        return AdaBoostM1(base, n_estimators=config.n_estimators, seed=config.seed)
+    if config.ensemble == BAGGING:
+        return Bagging(base, n_estimators=config.n_estimators, seed=config.seed)
+    return base

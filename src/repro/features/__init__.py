@@ -1,0 +1,33 @@
+"""Feature reduction: correlation attribute evaluation + top-k selection."""
+
+from repro.features.extraction import (
+    EXTRACTORS,
+    delta_features,
+    extract,
+    per_cycle,
+    per_kilo_instruction,
+    rolling_mean,
+    rolling_std,
+)
+from repro.features.correlation import (
+    FeatureRanking,
+    information_gain,
+    pearson_correlation,
+    rank_features,
+)
+from repro.features.reduction import FeatureReducer
+
+__all__ = [
+    "EXTRACTORS",
+    "FeatureRanking",
+    "FeatureReducer",
+    "delta_features",
+    "extract",
+    "information_gain",
+    "pearson_correlation",
+    "per_cycle",
+    "per_kilo_instruction",
+    "rank_features",
+    "rolling_mean",
+    "rolling_std",
+]

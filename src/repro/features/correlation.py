@@ -1,0 +1,115 @@
+"""Correlation attribute evaluation, as in WEKA's ``CorrelationAttributeEval``.
+
+The paper's feature-reduction stage (§3.2) scores each of the 44 captured
+events by the absolute Pearson correlation between the event and the
+class variable, ranks them, and keeps the top 16 (Table 1).  Smaller
+budgets (8/4/2) are prefixes of the same ranking, matching the paper's
+"numbered in order of importance" usage.
+
+An information-gain ranker is provided as the ablation alternative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.discretize import mdl_cut_points
+from repro.workloads.dataset import Dataset
+
+_EPS = 1e-12
+
+
+def pearson_correlation(values: np.ndarray, labels: np.ndarray) -> float:
+    """Pearson correlation between one numeric attribute and the 0/1 class."""
+    values = np.asarray(values, dtype=float)
+    labels = np.asarray(labels, dtype=float)
+    vc = values - values.mean()
+    lc = labels - labels.mean()
+    denom = np.sqrt((vc * vc).sum() * (lc * lc).sum())
+    if denom < _EPS:
+        return 0.0
+    return float((vc * lc).sum() / denom)
+
+
+def information_gain(values: np.ndarray, labels: np.ndarray) -> float:
+    """Class-entropy reduction of MDL-discretizing one attribute (bits)."""
+    labels = np.asarray(labels, dtype=np.intp)
+    counts = np.bincount(labels, minlength=2).astype(float)
+    p = counts[counts > 0] / counts.sum()
+    class_entropy = float(-(p * np.log2(p)).sum())
+    cuts = mdl_cut_points(values, labels)
+    if not cuts:
+        return 0.0
+    bins = np.searchsorted(np.asarray(cuts), values, side="right")
+    conditional = 0.0
+    n = len(labels)
+    for b in np.unique(bins):
+        mask = bins == b
+        sub = np.bincount(labels[mask], minlength=2).astype(float)
+        q = sub[sub > 0] / sub.sum()
+        conditional += (mask.sum() / n) * float(-(q * np.log2(q)).sum())
+    return class_entropy - conditional
+
+
+@dataclass(frozen=True)
+class FeatureRanking:
+    """Scored, descending-order attribute ranking.
+
+    Attributes:
+        names: attribute names, most important first.
+        scores: score of each attribute, aligned with ``names``.
+        method: ``"correlation"`` or ``"information_gain"``.
+    """
+
+    names: tuple[str, ...]
+    scores: tuple[float, ...]
+    method: str
+
+    def top(self, k: int) -> tuple[str, ...]:
+        """The ``k`` most important attribute names (paper: 16/8/4/2)."""
+        if not 1 <= k <= len(self.names):
+            raise ValueError(f"k must be in [1, {len(self.names)}], got {k}")
+        return self.names[:k]
+
+    def score_of(self, name: str) -> float:
+        try:
+            return self.scores[self.names.index(name)]
+        except ValueError:
+            raise KeyError(f"attribute {name!r} not in ranking") from None
+
+    def __str__(self) -> str:
+        lines = [f"Feature ranking ({self.method}):"]
+        lines += [
+            f"{i + 1:3d}. {name:28s} {score:.4f}"
+            for i, (name, score) in enumerate(zip(self.names, self.scores))
+        ]
+        return "\n".join(lines)
+
+
+def rank_features(dataset: Dataset, method: str = "correlation") -> FeatureRanking:
+    """Score and rank every attribute of a dataset against its class.
+
+    Args:
+        dataset: labelled samples over any event set.
+        method: ``"correlation"`` (paper) or ``"information_gain"``
+            (ablation alternative).
+    """
+    scorers = {
+        "correlation": lambda v, y: abs(pearson_correlation(v, y)),
+        "information_gain": information_gain,
+    }
+    if method not in scorers:
+        raise ValueError(f"unknown ranking method {method!r}")
+    scorer = scorers[method]
+    scored = [
+        (name, scorer(dataset.features[:, j], dataset.labels))
+        for j, name in enumerate(dataset.feature_names)
+    ]
+    scored.sort(key=lambda pair: pair[1], reverse=True)
+    return FeatureRanking(
+        names=tuple(name for name, _ in scored),
+        scores=tuple(score for _, score in scored),
+        method=method,
+    )

@@ -1,0 +1,169 @@
+"""Feature extraction: turning raw per-window counts into model inputs.
+
+The paper's Figure 2 pipeline has an explicit *feature extraction* stage
+before reduction.  Raw counts conflate program behaviour with how much
+the program ran in the window (an idle editor and a busy one differ in
+every counter).  This module provides the standard representations the
+HMD literature uses:
+
+* **raw** — counts as measured (the paper's configuration);
+* **per_kilo_instruction** — events per 1000 retired instructions (PKI),
+  the architecture-normalized form: removes utilization, keeps rates;
+* **per_cycle** — events per core cycle;
+* **delta** — first differences between consecutive windows of one
+  application (emphasizes phase changes);
+* **rolling mean/std** — sliding-window aggregation that trades
+  detection latency for noise suppression.
+
+All extractors preserve the dataset's provenance so the application-level
+split protocol keeps working downstream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.dataset import Dataset
+
+#: Events that normalizers divide by; must be present in the dataset.
+INSTRUCTIONS, CYCLES = "instructions", "cpu_cycles"
+
+
+def _replace_features(dataset: Dataset, features: np.ndarray, names: tuple[str, ...]) -> Dataset:
+    return Dataset(
+        features=features,
+        labels=dataset.labels,
+        feature_names=names,
+        app_ids=dataset.app_ids,
+        app_names=dataset.app_names,
+        app_families=dataset.app_families,
+    )
+
+
+def per_kilo_instruction(dataset: Dataset) -> Dataset:
+    """Normalize every event to occurrences per 1000 instructions.
+
+    The ``instructions`` column itself is kept raw (it becomes the scale
+    carrier); all other columns become PKI rates.
+
+    Raises:
+        KeyError: if the dataset lacks the ``instructions`` event.
+    """
+    if INSTRUCTIONS not in dataset.feature_names:
+        raise KeyError(f"dataset lacks {INSTRUCTIONS!r}; collect it to use PKI features")
+    instr_col = dataset.feature_names.index(INSTRUCTIONS)
+    denominator = np.maximum(dataset.features[:, instr_col], 1.0) / 1000.0
+    features = dataset.features / denominator[:, None]
+    features[:, instr_col] = dataset.features[:, instr_col]
+    names = tuple(
+        name if i == instr_col else f"{name}_pki"
+        for i, name in enumerate(dataset.feature_names)
+    )
+    return _replace_features(dataset, features, names)
+
+
+def per_cycle(dataset: Dataset) -> Dataset:
+    """Normalize every event to occurrences per core cycle."""
+    if CYCLES not in dataset.feature_names:
+        raise KeyError(f"dataset lacks {CYCLES!r}; collect it to use per-cycle features")
+    cyc_col = dataset.feature_names.index(CYCLES)
+    denominator = np.maximum(dataset.features[:, cyc_col], 1.0)
+    features = dataset.features / denominator[:, None]
+    features[:, cyc_col] = dataset.features[:, cyc_col]
+    names = tuple(
+        name if i == cyc_col else f"{name}_pc"
+        for i, name in enumerate(dataset.feature_names)
+    )
+    return _replace_features(dataset, features, names)
+
+
+def _per_app_transform(dataset: Dataset, transform) -> np.ndarray:
+    """Apply a (rows,) -> (rows,) window transform within each application.
+
+    Windows of one application are consecutive rows; transforms must not
+    mix windows of different applications.
+    """
+    out = np.empty_like(dataset.features)
+    for app in np.unique(dataset.app_ids):
+        rows = np.flatnonzero(dataset.app_ids == app)
+        out[rows] = transform(dataset.features[rows])
+    return out
+
+
+def delta_features(dataset: Dataset) -> Dataset:
+    """First differences between consecutive windows, per application.
+
+    The first window of each application keeps a zero delta (there is no
+    predecessor), so row count and provenance are preserved.
+    """
+
+    def diff(block: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(block)
+        out[1:] = np.diff(block, axis=0)
+        return out
+
+    features = _per_app_transform(dataset, diff)
+    names = tuple(f"{name}_delta" for name in dataset.feature_names)
+    return _replace_features(dataset, features, names)
+
+
+def rolling_mean(dataset: Dataset, window: int = 4) -> Dataset:
+    """Trailing moving average over ``window`` windows, per application.
+
+    Shorter histories at the start of an app average what exists, so no
+    rows are dropped.  A detector on rolled features needs ``window``
+    samples of history at run time — its detection delay.
+    """
+    if window < 1:
+        raise ValueError("window must be positive")
+
+    def roll(block: np.ndarray) -> np.ndarray:
+        out = np.empty_like(block)
+        cumulative = np.cumsum(block, axis=0)
+        for i in range(block.shape[0]):
+            start = max(0, i - window + 1)
+            total = cumulative[i] - (cumulative[start - 1] if start > 0 else 0)
+            out[i] = total / (i - start + 1)
+        return out
+
+    features = _per_app_transform(dataset, roll)
+    names = tuple(f"{name}_ma{window}" for name in dataset.feature_names)
+    return _replace_features(dataset, features, names)
+
+
+def rolling_std(dataset: Dataset, window: int = 4) -> Dataset:
+    """Trailing moving standard deviation, per application.
+
+    Captures burstiness: malware with phase-switching payloads shows
+    higher within-app variance than steady benign kernels.
+    """
+    if window < 2:
+        raise ValueError("window must be at least 2")
+
+    def roll(block: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(block)
+        for i in range(block.shape[0]):
+            start = max(0, i - window + 1)
+            out[i] = block[start : i + 1].std(axis=0)
+        return out
+
+    features = _per_app_transform(dataset, roll)
+    names = tuple(f"{name}_sd{window}" for name in dataset.feature_names)
+    return _replace_features(dataset, features, names)
+
+
+EXTRACTORS = {
+    "raw": lambda ds: ds,
+    "per_kilo_instruction": per_kilo_instruction,
+    "per_cycle": per_cycle,
+    "delta": delta_features,
+    "rolling_mean": rolling_mean,
+    "rolling_std": rolling_std,
+}
+
+
+def extract(dataset: Dataset, mode: str = "raw", **kwargs) -> Dataset:
+    """Apply one named extraction mode to a dataset."""
+    if mode not in EXTRACTORS:
+        raise ValueError(f"unknown extraction mode {mode!r}; choose from {sorted(EXTRACTORS)}")
+    return EXTRACTORS[mode](dataset, **kwargs) if kwargs else EXTRACTORS[mode](dataset)

@@ -1,0 +1,61 @@
+"""FPGA implementation cost model (paper §4.4, Table 3)."""
+
+from repro.hardware.graph import DataflowGraph, FabricConfig, Node
+from repro.hardware.lowering import (
+    HardwareDesign,
+    LoweringError,
+    lower,
+    lower_bayesnet,
+    lower_j48,
+    lower_jrip,
+    lower_linear,
+    lower_mlp,
+    lower_oner,
+    lower_reptree,
+)
+from repro.hardware.verilog import (
+    CodegenError,
+    generate,
+    generate_jrip,
+    generate_linear,
+    generate_oner,
+    generate_tree,
+)
+from repro.hardware.resources import (
+    DSP_LUT_EQUIVALENT,
+    OPENSPARC_LUT_EQUIVALENT,
+    OPERATOR_SPECS,
+    OperatorSpec,
+    OpType,
+    ResourceUsage,
+    op_usage,
+)
+
+__all__ = [
+    "CodegenError",
+    "DSP_LUT_EQUIVALENT",
+    "DataflowGraph",
+    "FabricConfig",
+    "HardwareDesign",
+    "LoweringError",
+    "Node",
+    "OPENSPARC_LUT_EQUIVALENT",
+    "OPERATOR_SPECS",
+    "OpType",
+    "OperatorSpec",
+    "ResourceUsage",
+    "generate",
+    "generate_jrip",
+    "generate_linear",
+    "generate_oner",
+    "generate_tree",
+    "lower",
+    "lower_bayesnet",
+    "lower_j48",
+    "lower_jrip",
+    "lower_linear",
+    "lower_mlp",
+    "lower_oner",
+    "lower_reptree",
+    "op_usage",
+]

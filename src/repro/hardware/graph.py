@@ -1,0 +1,170 @@
+"""Dataflow graphs and resource-constrained list scheduling.
+
+The arithmetic-dominated detectors (linear models, the MLP) are lowered
+to dataflow graphs of hardware operators and scheduled against a fabric
+with a bounded number of functional units — a miniature of what Vivado
+HLS does when it maps a classifier's inner products onto a handful of
+DSP slices.  The schedule length is the design's classification latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hardware.resources import OPERATOR_SPECS, OpType
+
+
+@dataclass
+class Node:
+    """One operation in a dataflow graph.
+
+    Attributes:
+        op: operator type.
+        deps: indices of nodes whose results this node consumes.
+    """
+
+    op: OpType
+    deps: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Functional units available to the scheduler each cycle.
+
+    Defaults model a compact HLS solution: a few shared DSP
+    multiply-accumulate units and a moderate pool of LUT-based ALUs, as a
+    malware-detection block squeezed beside a core would get.
+    """
+
+    multipliers: int = 2
+    adders: int = 4
+    lookups: int = 4
+    comparators: int = 16
+    float_multipliers: int = 2
+    float_adders: int = 2
+    float_sigmoids: int = 1
+
+    def capacity(self, op: OpType) -> int:
+        if op is OpType.MUL:
+            return self.multipliers
+        if op in (OpType.ADD, OpType.DIV):
+            return self.adders
+        if op in (OpType.TABLE_LOOKUP, OpType.SIGMOID, OpType.ENCODE):
+            return self.lookups
+        if op is OpType.FMUL:
+            return self.float_multipliers
+        if op is OpType.FADD:
+            return self.float_adders
+        if op is OpType.FSIGMOID:
+            return self.float_sigmoids
+        return self.comparators
+
+
+@dataclass
+class DataflowGraph:
+    """A DAG of operator nodes, built incrementally."""
+
+    nodes: list[Node] = field(default_factory=list)
+
+    def add(self, op: OpType, deps: tuple[int, ...] = ()) -> int:
+        """Append a node and return its index."""
+        for d in deps:
+            if not 0 <= d < len(self.nodes):
+                raise ValueError(f"dependency {d} does not exist yet")
+        self.nodes.append(Node(op=op, deps=deps))
+        return len(self.nodes) - 1
+
+    def reduce_tree(self, op: OpType, inputs: list[int]) -> int:
+        """Add a balanced reduction tree over ``inputs``; return its root."""
+        if not inputs:
+            raise ValueError("cannot reduce zero inputs")
+        level = list(inputs)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self.add(op, (level[i], level[i + 1])))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def critical_path(self) -> int:
+        """Latency ignoring resource limits (ASAP schedule length)."""
+        finish = [0] * len(self.nodes)
+        for i, node in enumerate(self.nodes):
+            start = max((finish[d] for d in node.deps), default=0)
+            finish[i] = start + OPERATOR_SPECS[node.op].latency
+        return max(finish, default=0)
+
+    def list_schedule(self, fabric: FabricConfig) -> int:
+        """Resource-constrained schedule length in cycles.
+
+        Classic list scheduling: each cycle, ready nodes are issued in
+        priority order (longest remaining path first) until the cycle's
+        functional-unit budget is exhausted.  Units are fully pipelined
+        (initiation interval 1), as HLS operator cores are: a unit
+        accepts a new operation every cycle even while earlier ones are
+        still in flight.
+        """
+        n = len(self.nodes)
+        if n == 0:
+            return 0
+        consumers: list[list[int]] = [[] for _ in range(n)]
+        indegree = [0] * n
+        for i, node in enumerate(self.nodes):
+            indegree[i] = len(node.deps)
+            for d in node.deps:
+                consumers[d].append(i)
+        # priority = height (longest path to a sink)
+        height = [0] * n
+        for i in range(n - 1, -1, -1):
+            own = OPERATOR_SPECS[self.nodes[i].op].latency
+            height[i] = own + max((height[c] for c in consumers[i]), default=0)
+
+        ready = sorted(
+            (i for i in range(n) if indegree[i] == 0), key=lambda i: -height[i]
+        )
+        pending_finish: list[tuple[int, int]] = []  # (finish_cycle, node)
+        scheduled = 0
+        cycle = 0
+        makespan = 0
+        guard = 0
+        while scheduled < n:
+            guard += 1
+            if guard > 100 * n + 100:
+                raise RuntimeError("scheduler failed to converge (cyclic graph?)")
+            # retire operations finishing at or before this cycle
+            still_pending = []
+            for finish_cycle, node in pending_finish:
+                if finish_cycle <= cycle:
+                    for c in consumers[node]:
+                        indegree[c] -= 1
+                        if indegree[c] == 0:
+                            ready.append(c)
+                else:
+                    still_pending.append((finish_cycle, node))
+            pending_finish = still_pending
+            ready.sort(key=lambda i: -height[i])
+            # issue within this cycle's capacity
+            budget: dict[OpType, int] = {}
+            issued: list[int] = []
+            remaining: list[int] = []
+            for i in ready:
+                op = self.nodes[i].op
+                cap = budget.setdefault(op, None)
+                if cap is None:
+                    budget[op] = FabricConfig.capacity(fabric, op)
+                if budget[op] > 0:
+                    budget[op] -= 1
+                    issued.append(i)
+                else:
+                    remaining.append(i)
+            ready = remaining
+            for i in issued:
+                latency = OPERATOR_SPECS[self.nodes[i].op].latency
+                finish = cycle + max(latency, 1)
+                pending_finish.append((finish, i))
+                makespan = max(makespan, finish)
+                scheduled += 1
+            cycle += 1
+        return makespan

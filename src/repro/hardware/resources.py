@@ -1,0 +1,154 @@
+"""Virtex-7 resource library and the OpenSPARC area reference.
+
+The paper implements every detector with Vivado HLS on a Xilinx Virtex-7
+and reports (a) latency in clock cycles at 10 ns and (b) area as a
+percentage of an OpenSPARC (FPGA) core.  This module provides the cost
+constants that the lowering stage (:mod:`repro.hardware.lowering`) prices
+designs with: per-operator LUT/FF/DSP/BRAM usage and latency, LUT-RAM
+density for parameter storage, and the OpenSPARC T1 core budget used as
+the 100% area reference.
+
+Numbers are calibrated to public Virtex-7 characterization data (32-bit
+fixed-point operators) and to the OpenSPARC T1 FPGA implementation
+(~48k LUT-equivalents per core); they are estimates, not synthesis
+results, but they preserve the *relative* costs the paper's Table 3 is
+about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class OpType(Enum):
+    """Hardware operator vocabulary of the lowering stage."""
+
+    ADD = "add"
+    MUL = "mul"
+    CMP = "cmp"
+    MUX = "mux"
+    TABLE_LOOKUP = "table_lookup"
+    SIGMOID = "sigmoid"
+    DIV = "div"
+    AND = "and"
+    ENCODE = "encode"
+    FADD = "fadd"
+    FMUL = "fmul"
+    FSIGMOID = "fsigmoid"
+
+
+@dataclass(frozen=True)
+class OperatorSpec:
+    """Cost of one hardware operator instance.
+
+    Attributes:
+        latency: pipeline latency in clock cycles at 10 ns (0 = fits in
+            the combinational slack of the consuming stage).
+        luts: 6-input LUTs consumed.
+        ffs: flip-flops consumed.
+        dsps: DSP48 slices consumed.
+        brams: 18 kb block RAMs consumed.
+    """
+
+    latency: int
+    luts: int
+    ffs: int
+    dsps: int = 0
+    brams: int = 0
+
+
+#: 32-bit fixed-point operator costs on Virtex-7 @ 100 MHz.
+OPERATOR_SPECS: dict[OpType, OperatorSpec] = {
+    OpType.ADD: OperatorSpec(latency=1, luts=32, ffs=32),
+    OpType.MUL: OperatorSpec(latency=4, luts=40, ffs=64, dsps=3),
+    OpType.CMP: OperatorSpec(latency=1, luts=16, ffs=1),
+    OpType.MUX: OperatorSpec(latency=0, luts=16, ffs=0),
+    OpType.TABLE_LOOKUP: OperatorSpec(latency=1, luts=24, ffs=16),
+    OpType.SIGMOID: OperatorSpec(latency=2, luts=64, ffs=32, brams=1),
+    OpType.DIV: OperatorSpec(latency=8, luts=180, ffs=160),
+    OpType.AND: OperatorSpec(latency=0, luts=4, ffs=0),
+    OpType.ENCODE: OperatorSpec(latency=1, luts=12, ffs=8),
+    # single-precision floating point (Vivado HLS fp cores) — the MLP's
+    # datapath; fp sigmoid is a full expf core plus the divide.
+    OpType.FADD: OperatorSpec(latency=8, luts=390, ffs=500),
+    OpType.FMUL: OperatorSpec(latency=6, luts=280, ffs=380, dsps=3),
+    OpType.FSIGMOID: OperatorSpec(latency=18, luts=2400, ffs=1800, dsps=7, brams=2),
+}
+
+#: LUT-equivalents of one DSP48 slice (for single-number area rollups).
+DSP_LUT_EQUIVALENT: int = 102
+
+#: LUT-equivalents of one 18 kb BRAM.
+BRAM_LUT_EQUIVALENT: int = 180
+
+#: Bits of parameter storage one LUT provides when used as LUT-RAM.
+LUTRAM_BITS_PER_LUT: int = 64
+
+#: LUT-equivalent budget of one OpenSPARC T1 core on Virtex-7 — the
+#: paper's 100% area reference.
+OPENSPARC_LUT_EQUIVALENT: int = 48_000
+
+#: Fixed-point width used for HPC values, thresholds and weights.
+DATA_WIDTH_BITS: int = 32
+
+#: Reduced width used for stored model coefficients (quantized weights).
+WEIGHT_WIDTH_BITS: int = 16
+
+
+@dataclass(frozen=True)
+class ResourceUsage:
+    """Aggregated resource footprint of a design."""
+
+    luts: int = 0
+    ffs: int = 0
+    dsps: int = 0
+    brams: int = 0
+    storage_bits: int = 0
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            luts=self.luts + other.luts,
+            ffs=self.ffs + other.ffs,
+            dsps=self.dsps + other.dsps,
+            brams=self.brams + other.brams,
+            storage_bits=self.storage_bits + other.storage_bits,
+        )
+
+    def scaled(self, factor: float) -> "ResourceUsage":
+        """Scale every component (used for shared-fabric discounts)."""
+        return ResourceUsage(
+            luts=int(round(self.luts * factor)),
+            ffs=int(round(self.ffs * factor)),
+            dsps=int(round(self.dsps * factor)),
+            brams=int(round(self.brams * factor)),
+            storage_bits=int(round(self.storage_bits * factor)),
+        )
+
+    @property
+    def lut_equivalent(self) -> int:
+        """Single-number area: LUTs + converted DSP/BRAM + LUT-RAM storage."""
+        return (
+            self.luts
+            + self.dsps * DSP_LUT_EQUIVALENT
+            + self.brams * BRAM_LUT_EQUIVALENT
+            + -(-self.storage_bits // LUTRAM_BITS_PER_LUT)
+        )
+
+    @property
+    def area_percent(self) -> float:
+        """Area as % of the OpenSPARC core, the paper's Table 3 metric."""
+        return 100.0 * self.lut_equivalent / OPENSPARC_LUT_EQUIVALENT
+
+
+def op_usage(op: OpType, count: int = 1) -> ResourceUsage:
+    """Resource usage of ``count`` instances of one operator."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    spec = OPERATOR_SPECS[op]
+    return ResourceUsage(
+        luts=spec.luts * count,
+        ffs=spec.ffs * count,
+        dsps=spec.dsps * count,
+        brams=spec.brams * count,
+    )

@@ -1,0 +1,80 @@
+"""Hardware performance counter substrate.
+
+Models the measurement stack the paper's data collection runs on: the
+44-event catalogue (:mod:`~repro.hpc.events`), a latent-parameter
+microarchitecture model that synthesizes correlated event counts
+(:mod:`~repro.hpc.microarch`), a fixed-capacity counter register file
+(:mod:`~repro.hpc.counters`), LXC-style isolated execution contexts
+(:mod:`~repro.hpc.lxc`), and Perf-style batched/multiplexed collection
+(:mod:`~repro.hpc.perf`).
+"""
+
+from repro.hpc.counters import (
+    COUNTER_BITS,
+    XEON_X5550_COUNTERS,
+    CounterCapacityError,
+    CounterRegister,
+    CounterRegisterFile,
+    CounterStateError,
+    sample_trace,
+)
+from repro.hpc.events import (
+    ALL_EVENTS,
+    EVENT_DESCRIPTORS,
+    EVENT_INDEX,
+    TABLE1_RANKED_EVENTS,
+    EventClass,
+    EventDescriptor,
+    events_of_class,
+)
+from repro.hpc.lxc import Container, ContainerDestroyedError, ContainerPool
+from repro.hpc.microarch import (
+    DEFAULT_FREQUENCY_HZ,
+    DEFAULT_WINDOW_MS,
+    ApplicationBehavior,
+    PhaseMix,
+    PhaseParameters,
+    synthesize_windows,
+)
+from repro.hpc.trace import TraceRecording, record_application, replay
+from repro.hpc.perf import (
+    BatchedCollection,
+    CollectionResult,
+    MultiplexedCollection,
+    batch_events,
+    runs_required,
+)
+
+__all__ = [
+    "ALL_EVENTS",
+    "COUNTER_BITS",
+    "DEFAULT_FREQUENCY_HZ",
+    "DEFAULT_WINDOW_MS",
+    "EVENT_DESCRIPTORS",
+    "EVENT_INDEX",
+    "TABLE1_RANKED_EVENTS",
+    "XEON_X5550_COUNTERS",
+    "ApplicationBehavior",
+    "BatchedCollection",
+    "CollectionResult",
+    "Container",
+    "ContainerDestroyedError",
+    "ContainerPool",
+    "CounterCapacityError",
+    "CounterRegister",
+    "CounterRegisterFile",
+    "CounterStateError",
+    "EventClass",
+    "EventDescriptor",
+    "MultiplexedCollection",
+    "PhaseMix",
+    "PhaseParameters",
+    "TraceRecording",
+    "batch_events",
+    "events_of_class",
+    "record_application",
+    "replay",
+    "runs_required",
+    "sample_trace",
+    "synthesize_windows",
+]

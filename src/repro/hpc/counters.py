@@ -1,0 +1,181 @@
+"""Model of a processor's hardware performance counter register file.
+
+Modern processors expose only a handful of programmable counter registers
+(4 on the Nehalem Xeon X5550 the paper uses; 2–8 across the market).  This
+module models that constraint explicitly: a :class:`CounterRegisterFile`
+has a fixed number of programmable slots, each of which must be bound to
+one event before it accumulates counts, and counters saturate at their
+physical bit width.
+
+The constraint is what makes the paper's problem real: measuring more
+events than there are registers requires either time multiplexing or
+re-running the workload, both handled by :mod:`repro.hpc.perf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hpc.events import EVENT_INDEX
+
+#: Number of programmable counter registers on the paper's Xeon X5550.
+XEON_X5550_COUNTERS: int = 4
+
+#: Physical width of a Nehalem performance counter register.
+COUNTER_BITS: int = 48
+
+
+class CounterCapacityError(RuntimeError):
+    """Raised when more events are programmed than registers exist."""
+
+
+class CounterStateError(RuntimeError):
+    """Raised on invalid register operations (e.g. reading an unbound slot)."""
+
+
+@dataclass
+class CounterRegister:
+    """One programmable performance counter register.
+
+    Attributes:
+        index: position of the register within the register file.
+        event: bound event name, or ``None`` when the slot is free.
+        value: accumulated count, saturating at ``2**COUNTER_BITS - 1``.
+        enabled: whether the register is currently counting.
+    """
+
+    index: int
+    event: str | None = None
+    value: int = 0
+    enabled: bool = False
+    overflowed: bool = field(default=False, repr=False)
+
+    @property
+    def max_value(self) -> int:
+        return (1 << COUNTER_BITS) - 1
+
+    def program(self, event: str) -> None:
+        """Bind this register to an event and reset its count."""
+        if event not in EVENT_INDEX:
+            raise KeyError(f"unknown performance event: {event!r}")
+        self.event = event
+        self.value = 0
+        self.overflowed = False
+        self.enabled = True
+
+    def accumulate(self, count: float) -> None:
+        """Add an observed count, saturating at the register width."""
+        if not self.enabled or self.event is None:
+            raise CounterStateError(f"register {self.index} is not programmed")
+        if count < 0:
+            raise ValueError(f"counts are non-negative, got {count}")
+        total = self.value + int(round(count))
+        if total > self.max_value:
+            self.overflowed = True
+            total = self.max_value
+        self.value = total
+
+    def release(self) -> None:
+        """Unbind the register, freeing the slot."""
+        self.event = None
+        self.enabled = False
+        self.value = 0
+        self.overflowed = False
+
+
+class CounterRegisterFile:
+    """A fixed-size file of programmable HPC registers.
+
+    Args:
+        n_counters: number of programmable registers (2–8 on real parts).
+    """
+
+    def __init__(self, n_counters: int = XEON_X5550_COUNTERS) -> None:
+        if n_counters < 1:
+            raise ValueError(f"need at least one counter, got {n_counters}")
+        self.registers = [CounterRegister(index=i) for i in range(n_counters)]
+
+    @property
+    def n_counters(self) -> int:
+        return len(self.registers)
+
+    @property
+    def programmed_events(self) -> tuple[str, ...]:
+        return tuple(r.event for r in self.registers if r.event is not None)
+
+    def program(self, events: list[str] | tuple[str, ...]) -> None:
+        """Bind a set of events, one per register.
+
+        Raises:
+            CounterCapacityError: if more events are requested than the
+                register file has slots — the physical constraint the
+                paper's multi-run collection works around.
+        """
+        events = list(events)
+        if len(events) > self.n_counters:
+            raise CounterCapacityError(
+                f"cannot monitor {len(events)} events concurrently with "
+                f"{self.n_counters} counter registers"
+            )
+        if len(set(events)) != len(events):
+            raise ValueError("duplicate events in one programming group")
+        self.reset()
+        for register, event in zip(self.registers, events):
+            register.program(event)
+
+    def observe_window(self, window_counts: dict[str, float]) -> None:
+        """Feed one sampling window's raw event activity into the registers.
+
+        Only programmed events are accumulated; everything else is
+        invisible, exactly as on real hardware.
+        """
+        for register in self.registers:
+            if register.enabled and register.event is not None:
+                register.accumulate(window_counts.get(register.event, 0.0))
+
+    def read(self) -> dict[str, int]:
+        """Read the counts of all programmed registers."""
+        return {
+            r.event: r.value for r in self.registers if r.enabled and r.event is not None
+        }
+
+    def reset(self) -> None:
+        """Release every register."""
+        for register in self.registers:
+            register.release()
+
+
+def sample_trace(
+    register_file: CounterRegisterFile,
+    trace: np.ndarray,
+    event_names: tuple[str, ...],
+) -> np.ndarray:
+    """Run a synthesized trace through the register file window by window.
+
+    Args:
+        register_file: programmed register file; only its bound events are
+            observable.
+        trace: array ``(n_windows, n_events)`` of raw per-window activity.
+        event_names: column names of ``trace``.
+
+    Returns:
+        Array ``(n_windows, n_programmed)`` of per-window readings for the
+        programmed events, in programming order.  Registers are reset
+        between windows (sampling mode), so each row is a window delta.
+    """
+    programmed = register_file.programmed_events
+    if not programmed:
+        raise CounterStateError("no events programmed")
+    column = {name: i for i, name in enumerate(event_names)}
+    readings = np.zeros((trace.shape[0], len(programmed)))
+    for w in range(trace.shape[0]):
+        window_counts = {ev: float(trace[w, column[ev]]) for ev in programmed}
+        for register in register_file.registers:
+            if register.enabled:
+                register.value = 0
+        register_file.observe_window(window_counts)
+        row = register_file.read()
+        readings[w] = [row[ev] for ev in programmed]
+    return readings

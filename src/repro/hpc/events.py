@@ -1,0 +1,158 @@
+"""Catalogue of the CPU performance events used throughout the framework.
+
+The paper collects 44 CPU events exposed by the Linux ``perf`` tool on an
+Intel Xeon X5550 (Nehalem).  This module defines the same event namespace:
+generalized hardware events plus the hardware-cache event matrix
+(``<cache>_<op>`` / ``<cache>_<op>_misses``), and the 16-event ranking of
+the paper's Table 1.
+
+Events are identified by name (``str``).  :data:`ALL_EVENTS` fixes a
+canonical ordering that the rest of the framework (counter scheduling,
+dataset columns, feature reduction) relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class EventClass(Enum):
+    """Coarse microarchitectural category of a performance event."""
+
+    PIPELINE = "pipeline"
+    BRANCH = "branch"
+    CACHE = "cache"
+    TLB = "tlb"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class EventDescriptor:
+    """Static description of one hardware performance event.
+
+    Attributes:
+        name: canonical ``perf``-style identifier, e.g. ``"branch_instructions"``.
+        event_class: coarse category used by reports and the workload model.
+        description: human-readable meaning of the count.
+    """
+
+    name: str
+    event_class: EventClass
+    description: str
+
+
+def _d(name: str, event_class: EventClass, description: str) -> EventDescriptor:
+    return EventDescriptor(name=name, event_class=event_class, description=description)
+
+
+#: The 44 CPU events collected by the paper's data-collection stage.
+#: Generalized hardware events first, then the hardware-cache matrix.
+EVENT_DESCRIPTORS: tuple[EventDescriptor, ...] = (
+    # -- generalized hardware events -------------------------------------
+    _d("cpu_cycles", EventClass.PIPELINE, "Core clock cycles elapsed"),
+    _d("instructions", EventClass.PIPELINE, "Instructions retired"),
+    _d("ref_cycles", EventClass.PIPELINE, "Reference (unhalted) clock cycles"),
+    _d("bus_cycles", EventClass.PIPELINE, "Bus clock cycles"),
+    _d("stalled_cycles_frontend", EventClass.PIPELINE, "Cycles the front-end issued no uops"),
+    _d("stalled_cycles_backend", EventClass.PIPELINE, "Cycles the back-end accepted no uops"),
+    _d("branch_instructions", EventClass.BRANCH, "Branch instructions retired"),
+    _d("branch_misses", EventClass.BRANCH, "Mispredicted branch instructions"),
+    _d("cache_references", EventClass.CACHE, "Last-level cache references"),
+    _d("cache_misses", EventClass.CACHE, "Last-level cache misses"),
+    # -- L1 data cache ----------------------------------------------------
+    _d("L1_dcache_loads", EventClass.CACHE, "L1D load accesses"),
+    _d("L1_dcache_load_misses", EventClass.CACHE, "L1D load misses"),
+    _d("L1_dcache_stores", EventClass.CACHE, "L1D store accesses"),
+    _d("L1_dcache_store_misses", EventClass.CACHE, "L1D store misses"),
+    _d("L1_dcache_prefetches", EventClass.CACHE, "L1D hardware prefetches issued"),
+    _d("L1_dcache_prefetch_misses", EventClass.CACHE, "L1D prefetches that missed"),
+    # -- L1 instruction cache ----------------------------------------------
+    _d("L1_icache_loads", EventClass.CACHE, "L1I fetch accesses"),
+    _d("L1_icache_load_misses", EventClass.CACHE, "L1I fetch misses"),
+    _d("L1_icache_prefetches", EventClass.CACHE, "L1I prefetches issued"),
+    _d("L1_icache_prefetch_misses", EventClass.CACHE, "L1I prefetches that missed"),
+    # -- last-level cache ---------------------------------------------------
+    _d("LLC_loads", EventClass.CACHE, "LLC load accesses"),
+    _d("LLC_load_misses", EventClass.CACHE, "LLC load misses"),
+    _d("LLC_stores", EventClass.CACHE, "LLC store accesses"),
+    _d("LLC_store_misses", EventClass.CACHE, "LLC store misses"),
+    _d("LLC_prefetches", EventClass.CACHE, "LLC prefetches issued"),
+    _d("LLC_prefetch_misses", EventClass.CACHE, "LLC prefetches that missed"),
+    # -- data TLB -----------------------------------------------------------
+    _d("dTLB_loads", EventClass.TLB, "dTLB load lookups"),
+    _d("dTLB_load_misses", EventClass.TLB, "dTLB load misses (page walks)"),
+    _d("dTLB_stores", EventClass.TLB, "dTLB store lookups"),
+    _d("dTLB_store_misses", EventClass.TLB, "dTLB store misses (page walks)"),
+    _d("dTLB_prefetches", EventClass.TLB, "dTLB prefetch lookups"),
+    _d("dTLB_prefetch_misses", EventClass.TLB, "dTLB prefetch misses"),
+    # -- instruction TLB ------------------------------------------------------
+    _d("iTLB_loads", EventClass.TLB, "iTLB fetch lookups"),
+    _d("iTLB_load_misses", EventClass.TLB, "iTLB fetch misses (page walks)"),
+    # -- branch prediction unit (perf 'branch' cache) -------------------------
+    _d("branch_loads", EventClass.BRANCH, "BPU lookups (branch loads)"),
+    _d("branch_load_misses", EventClass.BRANCH, "BPU lookup misses"),
+    # -- NUMA node (local memory controller) ----------------------------------
+    _d("node_loads", EventClass.MEMORY, "Local-node memory loads"),
+    _d("node_load_misses", EventClass.MEMORY, "Remote-node memory loads"),
+    _d("node_stores", EventClass.MEMORY, "Local-node memory stores"),
+    _d("node_store_misses", EventClass.MEMORY, "Remote-node memory stores"),
+    _d("node_prefetches", EventClass.MEMORY, "Node-level prefetches"),
+    _d("node_prefetch_misses", EventClass.MEMORY, "Node-level prefetch misses"),
+    # -- off-core memory traffic ------------------------------------------------
+    _d("mem_loads", EventClass.MEMORY, "Off-core memory load transactions"),
+    _d("mem_stores", EventClass.MEMORY, "Off-core memory store transactions"),
+)
+
+#: Canonical names of all 44 events, in catalogue order.
+ALL_EVENTS: tuple[str, ...] = tuple(d.name for d in EVENT_DESCRIPTORS)
+
+#: Fast lookup from event name to its descriptor.
+EVENT_INDEX: dict[str, EventDescriptor] = {d.name: d for d in EVENT_DESCRIPTORS}
+
+#: The paper's Table 1: the sixteen most important HPCs, in order of
+#: importance as determined by correlation attribute evaluation.
+TABLE1_RANKED_EVENTS: tuple[str, ...] = (
+    "branch_instructions",
+    "branch_loads",
+    "iTLB_load_misses",
+    "dTLB_load_misses",
+    "dTLB_store_misses",
+    "L1_dcache_stores",
+    "cache_misses",
+    "node_loads",
+    "dTLB_stores",
+    "iTLB_loads",
+    "L1_icache_load_misses",
+    "branch_load_misses",
+    "branch_misses",
+    "LLC_store_misses",
+    "node_stores",
+    "L1_dcache_load_misses",
+)
+
+
+def validate_catalogue() -> None:
+    """Check internal consistency of the event catalogue.
+
+    Raises:
+        ValueError: if the catalogue does not contain exactly 44 unique
+            events or Table 1 references an unknown event.
+    """
+    if len(ALL_EVENTS) != 44:
+        raise ValueError(f"expected 44 events, catalogue has {len(ALL_EVENTS)}")
+    if len(set(ALL_EVENTS)) != len(ALL_EVENTS):
+        raise ValueError("event catalogue contains duplicate names")
+    unknown = [name for name in TABLE1_RANKED_EVENTS if name not in EVENT_INDEX]
+    if unknown:
+        raise ValueError(f"Table 1 references unknown events: {unknown}")
+    if len(TABLE1_RANKED_EVENTS) != 16:
+        raise ValueError("Table 1 must rank exactly 16 events")
+
+
+def events_of_class(event_class: EventClass) -> tuple[str, ...]:
+    """Return the names of all events in one microarchitectural category."""
+    return tuple(d.name for d in EVENT_DESCRIPTORS if d.event_class is event_class)
+
+
+validate_catalogue()

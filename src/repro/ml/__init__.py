@@ -1,0 +1,111 @@
+"""From-scratch implementations of the paper's eight WEKA classifiers,
+the two ensemble meta-learners, and the evaluation machinery.
+
+Base learners (paper Figure 2): :class:`BayesNet`, :class:`J48`,
+:class:`JRip`, :class:`MLP`, :class:`OneR`, :class:`REPTree`,
+:class:`SGD`, :class:`SMO`.  Ensembles: :class:`AdaBoostM1`,
+:class:`Bagging`.
+"""
+
+from repro.ml.base import Classifier, NotFittedError
+from repro.ml.baselines import (
+    GaussianAnomalyDetector,
+    KNearestNeighbors,
+    LogisticRegression,
+)
+from repro.ml.bayes import BayesNet
+from repro.ml.discretize import Discretizer, equal_frequency_cuts, mdl_cut_points
+from repro.ml.ensemble import AdaBoostM1, Bagging, VotingEnsemble
+from repro.ml.j48 import J48
+from repro.ml.jrip import JRip
+from repro.ml.metrics import (
+    ClassificationReport,
+    DetectorScores,
+    acc_times_auc,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    evaluate_detector,
+    roc_auc,
+    roc_curve,
+)
+from repro.ml.mlp import MLP
+from repro.ml.oner import OneR
+from repro.ml.reptree import REPTree
+from repro.ml.scaling import StandardScaler
+from repro.ml.sgd import SGD
+from repro.ml.smo import SMO
+from repro.ml.stats import (
+    BootstrapCI,
+    McNemarResult,
+    bootstrap_metric_ci,
+    mcnemar_test,
+)
+from repro.ml.validation import (
+    SplitResult,
+    app_level_kfold,
+    app_level_split,
+    sample_level_split,
+)
+
+#: The paper's eight general classifiers, by WEKA name.
+BASE_CLASSIFIERS: dict[str, type] = {
+    "BayesNet": BayesNet,
+    "J48": J48,
+    "JRip": JRip,
+    "MLP": MLP,
+    "OneR": OneR,
+    "REPTree": REPTree,
+    "SGD": SGD,
+    "SMO": SMO,
+}
+
+
+def make_classifier(name: str, **kwargs) -> Classifier:
+    """Instantiate one of the paper's base classifiers by WEKA name."""
+    if name not in BASE_CLASSIFIERS:
+        raise KeyError(f"unknown classifier {name!r}; choose from {sorted(BASE_CLASSIFIERS)}")
+    return BASE_CLASSIFIERS[name](**kwargs)
+
+
+__all__ = [
+    "BASE_CLASSIFIERS",
+    "AdaBoostM1",
+    "Bagging",
+    "BayesNet",
+    "BootstrapCI",
+    "ClassificationReport",
+    "Classifier",
+    "GaussianAnomalyDetector",
+    "KNearestNeighbors",
+    "LogisticRegression",
+    "McNemarResult",
+    "DetectorScores",
+    "Discretizer",
+    "J48",
+    "JRip",
+    "MLP",
+    "NotFittedError",
+    "OneR",
+    "REPTree",
+    "SGD",
+    "SMO",
+    "SplitResult",
+    "StandardScaler",
+    "VotingEnsemble",
+    "acc_times_auc",
+    "accuracy",
+    "app_level_kfold",
+    "bootstrap_metric_ci",
+    "mcnemar_test",
+    "app_level_split",
+    "classification_report",
+    "confusion_matrix",
+    "equal_frequency_cuts",
+    "evaluate_detector",
+    "make_classifier",
+    "mdl_cut_points",
+    "roc_auc",
+    "roc_curve",
+    "sample_level_split",
+]

@@ -1,0 +1,132 @@
+"""Base classifier API shared by all learners in the framework.
+
+The framework mirrors WEKA's classifier contract (the tool the paper
+uses): binary classifiers are trained on a numeric feature matrix with
+labels in ``{0, 1}`` and expose class-membership probabilities, which the
+evaluation uses both for thresholded accuracy and for threshold-free
+ROC/AUC robustness analysis.
+
+Every concrete learner:
+
+* records its constructor arguments in ``self.params`` so :meth:`clone`
+  can produce fresh untrained copies (ensembles rely on this);
+* declares :attr:`supports_sample_weight`, which decides whether AdaBoost
+  re-weights or re-samples for it (matching WEKA's ``AdaBoostM1``);
+* raises :class:`NotFittedError` when queried before training.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+N_CLASSES = 2
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predict/predict_proba is called before fit."""
+
+
+def check_features(features: np.ndarray) -> np.ndarray:
+    """Validate and canonicalize a feature matrix to float64 2-D."""
+    features = np.asarray(features, dtype=float)
+    if features.ndim != 2:
+        raise ValueError(f"expected 2-D feature matrix, got shape {features.shape}")
+    if not np.all(np.isfinite(features)):
+        raise ValueError("feature matrix contains NaN or infinite values")
+    return features
+
+
+def check_training_set(
+    features: np.ndarray,
+    labels: np.ndarray,
+    sample_weight: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Validate a training set and return canonical (X, y, w) arrays.
+
+    Weights are normalized to sum to ``len(y)`` so weighted counts stay on
+    the same scale as unweighted ones.
+    """
+    features = check_features(features)
+    labels = np.asarray(labels)
+    if labels.shape != (features.shape[0],):
+        raise ValueError("labels must have one entry per feature row")
+    bad = set(np.unique(labels)) - {0, 1}
+    if bad:
+        raise ValueError(f"labels must be binary 0/1, found {sorted(bad)}")
+    if features.shape[0] == 0:
+        raise ValueError("cannot train on an empty dataset")
+    if sample_weight is None:
+        weights = np.ones(features.shape[0])
+    else:
+        weights = np.asarray(sample_weight, dtype=float)
+        if weights.shape != (features.shape[0],):
+            raise ValueError("sample_weight must align with feature rows")
+        if np.any(weights < 0):
+            raise ValueError("sample weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise ValueError("sample weights sum to zero")
+        weights = weights * (len(weights) / total)
+    return features, labels.astype(np.intp), weights
+
+
+class Classifier(abc.ABC):
+    """Abstract binary classifier.
+
+    Subclasses must set ``self.params`` to their constructor arguments
+    (used by :meth:`clone`) and implement :meth:`fit` and
+    :meth:`predict_proba`.
+    """
+
+    #: Whether :meth:`fit` honours the ``sample_weight`` argument.
+    supports_sample_weight: bool = False
+
+    def __init__(self) -> None:
+        self.params: dict = {}
+        self.fitted_ = False
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "Classifier":
+        """Train on (features, labels); returns self for chaining."""
+
+    @abc.abstractmethod
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class-membership probabilities, shape ``(n, 2)``."""
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Hard 0/1 predictions at the 0.5 probability threshold."""
+        return (self.predict_proba(features)[:, 1] >= 0.5).astype(np.intp)
+
+    def decision_scores(self, features: np.ndarray) -> np.ndarray:
+        """Monotone score for ROC analysis (malware-class probability)."""
+        return self.predict_proba(features)[:, 1]
+
+    def clone(self) -> "Classifier":
+        """Fresh untrained copy with identical hyper-parameters."""
+        return type(self)(**self.params)
+
+    def _require_fitted(self) -> None:
+        if not self.fitted_:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
+        return f"{type(self).__name__}({args})"
+
+
+def proba_from_counts(counts: np.ndarray, prior: float = 1.0) -> np.ndarray:
+    """Laplace-smoothed probabilities from per-class counts.
+
+    Args:
+        counts: array ``(..., 2)`` of (possibly weighted) class counts.
+        prior: Laplace smoothing pseudo-count per class.
+    """
+    counts = np.asarray(counts, dtype=float) + prior
+    return counts / counts.sum(axis=-1, keepdims=True)

@@ -1,0 +1,17 @@
+"""Related-work baseline detectors (paper §5).
+
+* :class:`LogisticRegression` — Khasawneh et al. (RAID 2015), ref [11].
+* :class:`KNearestNeighbors` — Demme et al. (ISCA 2013), ref [3].
+* :class:`GaussianAnomalyDetector` — Tang et al. / Garcia-Serrano et
+  al. (refs [15], [5]): unsupervised benign-behaviour modelling.
+"""
+
+from repro.ml.baselines.anomaly import GaussianAnomalyDetector
+from repro.ml.baselines.knn import KNearestNeighbors
+from repro.ml.baselines.logistic import LogisticRegression
+
+__all__ = [
+    "GaussianAnomalyDetector",
+    "KNearestNeighbors",
+    "LogisticRegression",
+]

@@ -1,0 +1,149 @@
+"""Unsupervised anomaly detection — Tang et al. / Garcia-Serrano style.
+
+The paper's related work (§5, references [5, 15]) detects exploitation
+by modelling *benign* HPC behaviour only and flagging deviations.  We
+implement the standard density-estimation formulation: fit a Gaussian
+mixture (diagonal covariance, EM) to benign training windows in log
+space and score test windows by negative log-likelihood; windows less
+likely than a benign-quantile threshold are flagged malicious.
+
+The classifier API is kept: ``fit`` receives both classes but *uses only
+the benign rows*, which is the method's defining property (and its
+advantage against novel malware — there is nothing malware-specific to
+overfit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_features, check_training_set
+
+_EPS = 1e-6
+
+
+class GaussianAnomalyDetector(Classifier):
+    """Benign-only Gaussian-mixture density model with quantile threshold.
+
+    Args:
+        n_components: mixture components (benign behaviour is multimodal
+            across application archetypes).
+        contamination: benign-quantile placed at the decision threshold —
+            the expected benign false-positive rate.
+        max_iterations: EM iterations.
+        seed: initialization seed.
+    """
+
+    supports_sample_weight = False
+
+    def __init__(
+        self,
+        n_components: int = 6,
+        contamination: float = 0.05,
+        max_iterations: int = 50,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if n_components < 1:
+            raise ValueError("n_components must be positive")
+        if not 0.0 < contamination < 0.5:
+            raise ValueError("contamination must be in (0, 0.5)")
+        self.n_components = n_components
+        self.contamination = contamination
+        self.max_iterations = max_iterations
+        self.seed = seed
+        self.params = {
+            "n_components": n_components,
+            "contamination": contamination,
+            "max_iterations": max_iterations,
+            "seed": seed,
+        }
+        self.means_: np.ndarray | None = None
+        self.variances_: np.ndarray | None = None
+        self.mixture_weights_: np.ndarray | None = None
+        self.threshold_: float = 0.0
+        self._log_mu: np.ndarray | None = None
+        self._log_sigma: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _transform(self, features: np.ndarray) -> np.ndarray:
+        assert self._log_mu is not None and self._log_sigma is not None
+        return (np.log1p(np.maximum(features, 0.0)) - self._log_mu) / self._log_sigma
+
+    def _log_density(self, x: np.ndarray) -> np.ndarray:
+        """Per-row mixture log-density."""
+        assert self.means_ is not None and self.variances_ is not None
+        assert self.mixture_weights_ is not None
+        parts = []
+        for k in range(self.means_.shape[0]):
+            diff = x - self.means_[k]
+            var = self.variances_[k]
+            log_norm = -0.5 * np.sum(np.log(2.0 * np.pi * var))
+            parts.append(
+                np.log(self.mixture_weights_[k] + _EPS)
+                + log_norm
+                - 0.5 * np.sum(diff * diff / var, axis=1)
+            )
+        stacked = np.vstack(parts)
+        peak = stacked.max(axis=0)
+        return peak + np.log(np.exp(stacked - peak).sum(axis=0))
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "GaussianAnomalyDetector":
+        features, labels, _ = check_training_set(features, labels, sample_weight)
+        benign = features[labels == 0]
+        if benign.shape[0] < self.n_components:
+            raise ValueError("not enough benign samples for the mixture size")
+        logged = np.log1p(np.maximum(benign, 0.0))
+        self._log_mu = logged.mean(axis=0)
+        self._log_sigma = np.where(logged.std(axis=0) > 0, logged.std(axis=0), 1.0)
+        x = (logged - self._log_mu) / self._log_sigma
+
+        rng = np.random.default_rng(self.seed)
+        n, d = x.shape
+        k = self.n_components
+        means = x[rng.choice(n, size=k, replace=False)]
+        variances = np.ones((k, d))
+        mix = np.full(k, 1.0 / k)
+        for _ in range(self.max_iterations):
+            # E step
+            logp = np.zeros((k, n))
+            for j in range(k):
+                diff = x - means[j]
+                logp[j] = (
+                    np.log(mix[j] + _EPS)
+                    - 0.5 * np.sum(np.log(2.0 * np.pi * variances[j]))
+                    - 0.5 * np.sum(diff * diff / variances[j], axis=1)
+                )
+            peak = logp.max(axis=0)
+            resp = np.exp(logp - peak)
+            resp /= resp.sum(axis=0)
+            # M step
+            mass = resp.sum(axis=1) + _EPS
+            mix = mass / mass.sum()
+            for j in range(k):
+                means[j] = (resp[j][:, None] * x).sum(axis=0) / mass[j]
+                diff = x - means[j]
+                variances[j] = (resp[j][:, None] * diff * diff).sum(axis=0) / mass[j]
+                variances[j] = np.maximum(variances[j], 1e-3)
+        self.means_, self.variances_, self.mixture_weights_ = means, variances, mix
+        self.fitted_ = True
+        benign_scores = -self._log_density(x)
+        self.threshold_ = float(np.quantile(benign_scores, 1.0 - self.contamination))
+        return self
+
+    def anomaly_scores(self, features: np.ndarray) -> np.ndarray:
+        """Negative benign log-likelihood; higher = more anomalous."""
+        self._require_fitted()
+        features = check_features(features)
+        return -self._log_density(self._transform(features))
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        scores = self.anomaly_scores(features)
+        # squash the threshold-centred score into a probability
+        p1 = 1.0 / (1.0 + np.exp(-np.clip(scores - self.threshold_, -35, 35)))
+        return np.column_stack([1.0 - p1, p1])

@@ -1,0 +1,86 @@
+"""K-nearest neighbours — the detector of Demme et al. (ISCA 2013).
+
+The first HPC-based malware detection study (paper §5, reference [3])
+reported strong offline results with KNN and neural networks.  KNN's
+per-query cost is what makes it unattractive for run-time hardware
+detection (it must store and scan the training set), which is exactly
+the contrast the paper draws; implementing it lets the benchmarks show
+that trade-off rather than assert it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_features, check_training_set
+from repro.ml.scaling import StandardScaler
+
+
+class KNearestNeighbors(Classifier):
+    """Distance-weighted k-NN on standardized features.
+
+    Args:
+        k: neighbourhood size (Demme et al. report k in the 5-10 range).
+        weighted: weight votes by inverse distance, as WEKA's IBk ``-I``.
+    """
+
+    supports_sample_weight = False
+
+    def __init__(self, k: int = 5, weighted: bool = True) -> None:
+        super().__init__()
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.k = k
+        self.weighted = weighted
+        self.params = {"k": k, "weighted": weighted}
+        self.scaler_: StandardScaler | None = None
+        self.train_x_: np.ndarray | None = None
+        self.train_y_: np.ndarray | None = None
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "KNearestNeighbors":
+        features, labels, _ = check_training_set(features, labels, sample_weight)
+        self.scaler_ = StandardScaler.fit(features)
+        self.train_x_ = self.scaler_.transform(features)
+        self.train_y_ = labels
+        self.fitted_ = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        features = check_features(features)
+        assert self.scaler_ is not None
+        assert self.train_x_ is not None and self.train_y_ is not None
+        x = self.scaler_.transform(features)
+        k = min(self.k, self.train_x_.shape[0])
+        out = np.zeros((x.shape[0], 2))
+        # chunked distance computation keeps memory bounded
+        for start in range(0, x.shape[0], 256):
+            block = x[start : start + 256]
+            d2 = (
+                np.sum(block**2, axis=1)[:, None]
+                - 2.0 * block @ self.train_x_.T
+                + np.sum(self.train_x_**2, axis=1)[None, :]
+            )
+            nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+            for i in range(block.shape[0]):
+                idx = nearest[i]
+                if self.weighted:
+                    votes = 1.0 / (np.sqrt(np.maximum(d2[i, idx], 0.0)) + 1e-9)
+                else:
+                    votes = np.ones(k)
+                for label, vote in zip(self.train_y_[idx], votes):
+                    out[start + i, label] += vote
+        totals = out.sum(axis=1, keepdims=True)
+        return out / np.where(totals > 0, totals, 1.0)
+
+    @property
+    def n_stored(self) -> int:
+        """Training instances the deployed model must keep (its cost)."""
+        self._require_fitted()
+        assert self.train_x_ is not None
+        return self.train_x_.shape[0]

@@ -1,0 +1,8 @@
+"""Ensemble meta-learners: AdaBoost.M1, Bagging (paper §2), and a
+heterogeneous voting committee (extension)."""
+
+from repro.ml.ensemble.adaboost import AdaBoostM1
+from repro.ml.ensemble.bagging import Bagging
+from repro.ml.ensemble.voting import VotingEnsemble
+
+__all__ = ["AdaBoostM1", "Bagging", "VotingEnsemble"]

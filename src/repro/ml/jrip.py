@@ -1,0 +1,281 @@
+"""JRip: RIPPER rule induction (Cohen, 1995), as in WEKA's ``JRip``.
+
+RIPPER learns an ordered rule list for the minority ("positive") class
+and falls back to a default rule for everything else.  Each rule is grown
+condition-by-condition to maximize FOIL information gain on a grow set,
+then greedily suffix-pruned on a held-out prune set (IREP*'s
+``(p - n) / (p + n)`` metric); rule-set construction stops when a new
+rule's prune-set error exceeds 1/2 or the positives are exhausted.
+
+This is IREP* — RIPPER without the global optimization rounds (WEKA's
+``-O 2``); DESIGN.md records the simplification.  The paper's hardware
+analysis notes JRip's area "highly depends on how many rules are
+generated"; :attr:`JRip.rules_` exposes exactly that structure to the
+cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_features, check_training_set
+
+_EPS = 1e-12
+#: Cap on candidate thresholds examined per attribute per growth step.
+_MAX_THRESHOLDS = 48
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One numeric test ``feature <op> threshold`` with op in {<=, >}."""
+
+    attribute: int
+    op: str
+    threshold: float
+
+    def covers(self, features: np.ndarray) -> np.ndarray:
+        column = features[:, self.attribute]
+        if self.op == "<=":
+            return column <= self.threshold
+        return column > self.threshold
+
+    def __str__(self) -> str:
+        return f"x{self.attribute} {self.op} {self.threshold:.6g}"
+
+
+@dataclass
+class Rule:
+    """Conjunctive rule predicting the positive class.
+
+    Attributes:
+        conditions: ANDed numeric tests.
+        class_counts: Laplace-ready weighted train counts of covered rows.
+    """
+
+    conditions: list[Condition]
+    class_counts: np.ndarray
+
+    def covers(self, features: np.ndarray) -> np.ndarray:
+        mask = np.ones(features.shape[0], dtype=bool)
+        for condition in self.conditions:
+            mask &= condition.covers(features)
+        return mask
+
+    def __str__(self) -> str:
+        body = " and ".join(str(c) for c in self.conditions) or "true"
+        return f"({body})"
+
+
+def _foil_gain(p0: float, n0: float, p1: np.ndarray, n1: np.ndarray) -> np.ndarray:
+    """FOIL information gain of refining coverage (p0,n0) to (p1,n1)."""
+    before = np.log2((p0 + 1.0) / (p0 + n0 + 2.0))
+    after = np.log2((p1 + 1.0) / (p1 + n1 + 2.0))
+    return p1 * (after - before)
+
+
+class JRip(Classifier):
+    """RIPPER (IREP*) ordered rule-list classifier.
+
+    Args:
+        folds: grow/prune split denominator; one fold prunes (WEKA ``-F`` 3).
+        min_weight: minimum covered positive weight per rule (WEKA ``-N`` 2).
+        seed: RNG seed for the stratified grow/prune shuffle.
+        use_pruning: disable to keep grown rules verbatim (WEKA ``-P``).
+    """
+
+    supports_sample_weight = False
+
+    def __init__(
+        self,
+        folds: int = 3,
+        min_weight: float = 2.0,
+        seed: int = 1,
+        use_pruning: bool = True,
+    ) -> None:
+        super().__init__()
+        if folds < 2:
+            raise ValueError("folds must be >= 2")
+        self.folds = folds
+        self.min_weight = min_weight
+        self.seed = seed
+        self.use_pruning = use_pruning
+        self.params = {
+            "folds": folds,
+            "min_weight": min_weight,
+            "seed": seed,
+            "use_pruning": use_pruning,
+        }
+        self.rules_: list[Rule] = []
+        self.positive_class_: int = 1
+        self.default_counts_: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _candidate_conditions(
+        self, features: np.ndarray, positives: np.ndarray, weights: np.ndarray
+    ) -> tuple[Condition, float] | None:
+        """Best single condition by FOIL gain over current coverage."""
+        p0 = float(weights[positives].sum())
+        n0 = float(weights[~positives].sum())
+        if p0 <= 0:
+            return None
+        best: tuple[Condition, float] | None = None
+        for j in range(features.shape[1]):
+            column = features[:, j]
+            distinct = np.unique(column)
+            if distinct.size < 2:
+                continue
+            if distinct.size > _MAX_THRESHOLDS:
+                qs = np.linspace(0, 1, _MAX_THRESHOLDS + 2)[1:-1]
+                distinct = np.unique(np.quantile(column, qs))
+            thresholds = (distinct[:-1] + distinct[1:]) / 2.0
+            le = column[:, None] <= thresholds[None, :]
+            wpos = weights * positives
+            wneg = weights * (~positives)
+            p_le = wpos @ le
+            n_le = wneg @ le
+            for op, p1, n1 in (("<=", p_le, n_le), (">", p0 - p_le, n0 - n_le)):
+                gains = _foil_gain(p0, n0, p1, n1)
+                k = int(np.argmax(gains))
+                if gains[k] > _EPS and (best is None or gains[k] > best[1]):
+                    best = (Condition(j, op, float(thresholds[k])), float(gains[k]))
+        return best
+
+    def _grow_rule(
+        self, features: np.ndarray, labels: np.ndarray, weights: np.ndarray
+    ) -> Rule:
+        """Grow one rule on the grow set until it covers no negatives."""
+        conditions: list[Condition] = []
+        covered = np.ones(features.shape[0], dtype=bool)
+        positives = labels == self.positive_class_
+        while True:
+            sub = covered
+            if not (positives & sub).any():
+                break
+            if not (~positives & sub).any():
+                break  # pure positive coverage: rule is done
+            found = self._candidate_conditions(
+                features[sub], positives[sub], weights[sub]
+            )
+            if found is None:
+                break
+            condition, _gain = found
+            conditions.append(condition)
+            covered &= condition.covers(features)
+        return Rule(conditions=conditions, class_counts=np.zeros(2))
+
+    @staticmethod
+    def _prune_metric(p: float, n: float) -> float:
+        return (p - n) / (p + n) if p + n > 0 else -1.0
+
+    def _prune_rule(
+        self, rule: Rule, features: np.ndarray, labels: np.ndarray, weights: np.ndarray
+    ) -> Rule:
+        """Suffix-prune the rule to maximize (p-n)/(p+n) on the prune set."""
+        positives = labels == self.positive_class_
+        best_len = len(rule.conditions)
+        best_score = -np.inf
+        covered = np.ones(features.shape[0], dtype=bool)
+        scores = []
+        for k, condition in enumerate(rule.conditions, start=1):
+            covered &= condition.covers(features)
+            p = float(weights[covered & positives].sum())
+            n = float(weights[covered & ~positives].sum())
+            scores.append(self._prune_metric(p, n))
+        for k in range(len(scores), 0, -1):
+            if scores[k - 1] > best_score + _EPS:
+                best_score = scores[k - 1]
+                best_len = k
+        return Rule(conditions=rule.conditions[:best_len], class_counts=np.zeros(2))
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "JRip":
+        features, labels, weights = check_training_set(features, labels, sample_weight)
+        mass = [float(weights[labels == c].sum()) for c in (0, 1)]
+        self.positive_class_ = int(np.argmin(mass))
+        rng = np.random.default_rng(self.seed)
+
+        remaining = np.ones(len(labels), dtype=bool)
+        self.rules_ = []
+        positives = labels == self.positive_class_
+        while (remaining & positives).any():
+            idx = np.flatnonzero(remaining)
+            if idx.size < 2 * self.folds:
+                break
+            shuffled = rng.permutation(idx)
+            n_prune = idx.size // self.folds
+            prune_idx, grow_idx = shuffled[:n_prune], shuffled[n_prune:]
+            rule = self._grow_rule(features[grow_idx], labels[grow_idx], weights[grow_idx])
+            if self.use_pruning and n_prune > 0:
+                rule = self._prune_rule(
+                    rule, features[prune_idx], labels[prune_idx], weights[prune_idx]
+                )
+            if not rule.conditions:
+                break
+            covered_prune = rule.covers(features[prune_idx])
+            p = float(weights[prune_idx][covered_prune & positives[prune_idx]].sum())
+            n = float(weights[prune_idx][covered_prune & ~positives[prune_idx]].sum())
+            if self.use_pruning and n_prune > 0 and (p + n > 0) and n > p:
+                break  # prune-set error above 1/2: reject rule, stop
+            covered_all = rule.covers(features) & remaining
+            pos_weight = float(weights[covered_all & positives].sum())
+            if pos_weight < self.min_weight:
+                break
+            counts = np.zeros(2)
+            for c in (0, 1):
+                counts[c] = float(weights[covered_all & (labels == c)].sum())
+            rule.class_counts = counts
+            self.rules_.append(rule)
+            remaining &= ~rule.covers(features)
+
+        default = np.zeros(2)
+        for c in (0, 1):
+            default[c] = float(weights[remaining & (labels == c)].sum())
+        if default.sum() <= 0:
+            default = np.array(mass, dtype=float)
+        self.default_counts_ = default
+        self.fitted_ = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        features = check_features(features)
+        assert self.default_counts_ is not None
+        counts = np.tile(self.default_counts_, (features.shape[0], 1))
+        unassigned = np.ones(features.shape[0], dtype=bool)
+        for rule in self.rules_:
+            hit = rule.covers(features) & unassigned
+            counts[hit] = rule.class_counts
+            unassigned &= ~hit
+        smoothed = counts + 1.0
+        return smoothed / smoothed.sum(axis=1, keepdims=True)
+
+    # -- structure, for the hardware model and reports ------------------
+    @property
+    def n_rules(self) -> int:
+        self._require_fitted()
+        return len(self.rules_)
+
+    @property
+    def n_conditions(self) -> int:
+        """Total condition count across all rules (hardware comparators)."""
+        self._require_fitted()
+        return sum(len(rule.conditions) for rule in self.rules_)
+
+    def describe(self) -> str:
+        """Human-readable ordered rule list."""
+        self._require_fitted()
+        lines = [
+            f"{rule} => class {self.positive_class_} "
+            f"[{rule.class_counts[self.positive_class_]:.1f}/"
+            f"{rule.class_counts.sum():.1f}]"
+            for rule in self.rules_
+        ]
+        assert self.default_counts_ is not None
+        lines.append(f"default => class {int(np.argmax(self.default_counts_))}")
+        return "\n".join(lines)

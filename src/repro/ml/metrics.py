@@ -1,0 +1,146 @@
+"""Evaluation metrics: accuracy, confusion matrix, ROC/AUC, ACC×AUC.
+
+The paper evaluates detectors on three axes:
+
+* **accuracy** — fraction of windows classified correctly (§4.1);
+* **robustness** — area under the ROC curve, i.e. how well the detector
+  separates the classes across *all* thresholds (§4.2);
+* **performance** — the product ACC×AUC, the paper's combined figure of
+  merit (§4.3).
+
+All functions are pure numpy and operate on label/score vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _check_labels(y_true: np.ndarray, other: np.ndarray, name: str) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    other = np.asarray(other)
+    if y_true.shape != other.shape or y_true.ndim != 1:
+        raise ValueError(f"y_true and {name} must be 1-D and aligned")
+    if y_true.size == 0:
+        raise ValueError("cannot evaluate on empty label vector")
+    return y_true, other
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correctly classified samples, in ``[0, 1]``."""
+    y_true, y_pred = _check_labels(y_true, y_pred, "y_pred")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray) -> np.ndarray:
+    """2x2 confusion matrix ``[[TN, FP], [FN, TP]]``."""
+    y_true, y_pred = _check_labels(y_true, y_pred, "y_pred")
+    matrix = np.zeros((2, 2), dtype=np.intp)
+    for t, p in ((0, 0), (0, 1), (1, 0), (1, 1)):
+        matrix[t, p] = int(np.sum((y_true == t) & (y_pred == p)))
+    return matrix
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Threshold-dependent summary of a binary detector."""
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    false_positive_rate: float
+    confusion: np.ndarray
+
+    def __str__(self) -> str:
+        return (
+            f"acc={self.accuracy:.3f} precision={self.precision:.3f} "
+            f"recall={self.recall:.3f} f1={self.f1:.3f} fpr={self.false_positive_rate:.3f}"
+        )
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> ClassificationReport:
+    """Full threshold-dependent report (malware = positive class)."""
+    matrix = confusion_matrix(y_true, y_pred)
+    tn, fp = int(matrix[0, 0]), int(matrix[0, 1])
+    fn, tp = int(matrix[1, 0]), int(matrix[1, 1])
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    fpr = fp / (fp + tn) if fp + tn else 0.0
+    return ClassificationReport(
+        accuracy=(tp + tn) / len(y_true),
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        false_positive_rate=fpr,
+        confusion=matrix,
+    )
+
+
+def roc_curve(y_true: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC curve points for a score vector (higher score = more malicious).
+
+    Ties are handled by grouping samples with equal scores into one
+    threshold step, so the curve is an unbiased step function.
+
+    Returns:
+        ``(fpr, tpr, thresholds)`` arrays, each beginning at (0, 0) with
+        threshold ``+inf`` and ending at (1, 1).
+    """
+    y_true, scores = _check_labels(y_true, scores, "scores")
+    n_pos = int(np.sum(y_true == 1))
+    n_neg = int(np.sum(y_true == 0))
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC needs both classes present")
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = y_true[order]
+    # Indices where the score changes: the only distinct thresholds.
+    distinct = np.flatnonzero(np.diff(sorted_scores))
+    step_ends = np.append(distinct, len(scores) - 1)
+    tp_cum = np.cumsum(sorted_labels == 1)[step_ends]
+    fp_cum = np.cumsum(sorted_labels == 0)[step_ends]
+    tpr = np.concatenate([[0.0], tp_cum / n_pos])
+    fpr = np.concatenate([[0.0], fp_cum / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[step_ends]])
+    return fpr, tpr, thresholds
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve (trapezoidal), in ``[0, 1]``.
+
+    Equals the probability that a random malware window outscores a
+    random benign window (ties counted half).
+    """
+    fpr, tpr, _ = roc_curve(y_true, scores)
+    return float(np.trapezoid(tpr, fpr))
+
+
+def acc_times_auc(y_true: np.ndarray, y_pred: np.ndarray, scores: np.ndarray) -> float:
+    """The paper's combined performance metric ACC×AUC (§4.3)."""
+    return accuracy(y_true, y_pred) * roc_auc(y_true, scores)
+
+
+@dataclass(frozen=True)
+class DetectorScores:
+    """The paper's three figures of merit for one evaluated detector."""
+
+    accuracy: float
+    auc: float
+
+    @property
+    def performance(self) -> float:
+        """ACC×AUC, the §4.3 combined metric."""
+        return self.accuracy * self.auc
+
+
+def evaluate_detector(
+    y_true: np.ndarray, y_pred: np.ndarray, scores: np.ndarray
+) -> DetectorScores:
+    """Compute accuracy, AUC and (derived) ACC×AUC in one call."""
+    return DetectorScores(
+        accuracy=accuracy(y_true, y_pred), auc=roc_auc(y_true, scores)
+    )

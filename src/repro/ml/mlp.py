@@ -1,0 +1,164 @@
+"""MLP: multi-layer perceptron, as in WEKA's ``MultilayerPerceptron``.
+
+One sigmoid hidden layer whose width defaults to WEKA's ``'a'`` heuristic
+((#attributes + #classes) / 2), trained by full-batch backpropagation
+with learning rate 0.3 and momentum 0.2 (WEKA defaults), on standardized
+inputs, minimizing squared error against one-hot targets — the exact
+configuration behind the paper's "MultiLperc." rows.  The paper's
+hardware analysis singles the MLP out as the costliest detector; the
+trained weight matrices exposed here are what the cost model prices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_features, check_training_set
+from repro.ml.scaling import StandardScaler
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+class MLP(Classifier):
+    """Single-hidden-layer perceptron with momentum backpropagation.
+
+    WEKA trains online (one update per instance); for speed we use
+    mini-batches, which approximates online updates while staying
+    vectorized.
+
+    Args:
+        hidden_units: hidden layer width; ``None`` applies WEKA's ``'a'``
+            rule, ``(n_features + 2) // 2``.
+        learning_rate: backprop step size (WEKA ``-L`` 0.3).
+        momentum: previous-update carry-over (WEKA ``-M`` 0.2).
+        epochs: training epochs (WEKA ``-N`` 500).
+        batch_size: mini-batch size approximating WEKA's online updates.
+        seed: weight initialization seed.
+    """
+
+    supports_sample_weight = True
+
+    def __init__(
+        self,
+        hidden_units: int | None = None,
+        learning_rate: float = 0.3,
+        momentum: float = 0.2,
+        epochs: int = 200,
+        batch_size: int = 32,
+        seed: int = 0,
+    ) -> None:
+        super().__init__()
+        if hidden_units is not None and hidden_units < 1:
+            raise ValueError("hidden_units must be positive")
+        if not 0 < learning_rate:
+            raise ValueError("learning_rate must be positive")
+        if not 0 <= momentum < 1:
+            raise ValueError("momentum must be in [0, 1)")
+        if epochs < 1:
+            raise ValueError("epochs must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.hidden_units = hidden_units
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.seed = seed
+        self.params = {
+            "hidden_units": hidden_units,
+            "learning_rate": learning_rate,
+            "momentum": momentum,
+            "epochs": epochs,
+            "batch_size": batch_size,
+            "seed": seed,
+        }
+        self.scaler_: StandardScaler | None = None
+        self.w_hidden_: np.ndarray | None = None  # (d, h)
+        self.b_hidden_: np.ndarray | None = None  # (h,)
+        self.w_out_: np.ndarray | None = None  # (h, 2)
+        self.b_out_: np.ndarray | None = None  # (2,)
+
+    def _resolve_hidden(self, n_features: int) -> int:
+        if self.hidden_units is not None:
+            return self.hidden_units
+        return max((n_features + 2) // 2, 2)
+
+    def fit(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sample_weight: np.ndarray | None = None,
+    ) -> "MLP":
+        features, labels, weights = check_training_set(features, labels, sample_weight)
+        self.scaler_ = StandardScaler.fit(features)
+        x = self.scaler_.transform(features)
+        n, d = x.shape
+        h = self._resolve_hidden(d)
+        rng = np.random.default_rng(self.seed)
+        w1 = rng.uniform(-0.5, 0.5, size=(d, h))
+        b1 = np.zeros(h)
+        w2 = rng.uniform(-0.5, 0.5, size=(h, 2))
+        b2 = np.zeros(2)
+        targets = np.zeros((n, 2))
+        targets[np.arange(n), labels] = 1.0
+        rel_weight = (weights / weights.mean())[:, None]
+
+        dw1 = np.zeros_like(w1)
+        db1 = np.zeros_like(b1)
+        dw2 = np.zeros_like(w2)
+        db2 = np.zeros_like(b2)
+        lr, mom = self.learning_rate, self.momentum
+        for epoch in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                rows = order[start : start + self.batch_size]
+                xb, tb, wb = x[rows], targets[rows], rel_weight[rows]
+                hidden = _sigmoid(xb @ w1 + b1)
+                out = _sigmoid(hidden @ w2 + b2)
+                # squared-error gradient through output sigmoids,
+                # averaged over the mini-batch
+                delta_out = (out - tb) * out * (1.0 - out) * wb / len(rows)
+                delta_hidden = (delta_out @ w2.T) * hidden * (1.0 - hidden)
+                dw2 = mom * dw2 - lr * hidden.T @ delta_out
+                db2 = mom * db2 - lr * delta_out.sum(axis=0)
+                dw1 = mom * dw1 - lr * xb.T @ delta_hidden
+                db1 = mom * db1 - lr * delta_hidden.sum(axis=0)
+                w2 += dw2
+                b2 += db2
+                w1 += dw1
+                b1 += db1
+        self.w_hidden_, self.b_hidden_ = w1, b1
+        self.w_out_, self.b_out_ = w2, b2
+        self.fitted_ = True
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        features = check_features(features)
+        assert self.scaler_ is not None
+        assert self.w_hidden_ is not None and self.w_out_ is not None
+        assert self.b_hidden_ is not None and self.b_out_ is not None
+        x = self.scaler_.transform(features)
+        hidden = _sigmoid(x @ self.w_hidden_ + self.b_hidden_)
+        out = _sigmoid(hidden @ self.w_out_ + self.b_out_)
+        total = out.sum(axis=1, keepdims=True)
+        return out / np.where(total > 0, total, 1.0)
+
+    # -- structure, for the hardware model -------------------------------
+    @property
+    def layer_sizes(self) -> tuple[int, int, int]:
+        """(inputs, hidden units, outputs) of the trained network."""
+        self._require_fitted()
+        assert self.w_hidden_ is not None and self.w_out_ is not None
+        return (
+            self.w_hidden_.shape[0],
+            self.w_hidden_.shape[1],
+            self.w_out_.shape[1],
+        )

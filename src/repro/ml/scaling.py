@@ -1,0 +1,33 @@
+"""Feature standardization shared by the gradient/margin-based learners.
+
+HPC counts span orders of magnitude (cycles in the tens of millions,
+iTLB misses in the hundreds), so MLP/SGD/SMO standardize features to
+zero mean and unit variance at fit time, exactly as WEKA's filters do
+for those classifiers.  Constant features get unit scale so they map to
+zero instead of dividing by zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class StandardScaler:
+    """Fitted per-feature affine normalizer ``(x - mean) / scale``."""
+
+    mean: np.ndarray
+    scale: np.ndarray
+
+    @classmethod
+    def fit(cls, features: np.ndarray) -> "StandardScaler":
+        features = np.asarray(features, dtype=float)
+        mean = features.mean(axis=0)
+        scale = features.std(axis=0)
+        scale = np.where(scale > 0, scale, 1.0)
+        return cls(mean=mean, scale=scale)
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        return (np.asarray(features, dtype=float) - self.mean) / self.scale

@@ -1,0 +1,160 @@
+"""Statistical comparison of detectors: McNemar's test, bootstrap CIs.
+
+The paper compares detectors by point estimates; a production evaluation
+needs to know whether "boosted 2HPC beats general 8HPC" survives sampling
+noise.  This module provides:
+
+* :func:`mcnemar_test` — the standard paired test on disagreeing
+  predictions of two classifiers over the same test windows;
+* :func:`bootstrap_metric_ci` — percentile bootstrap confidence interval
+  for any label/score metric (accuracy, AUC, ACC×AUC), resampling *by
+  application* so the interval respects the paper's unknown-apps
+  protocol rather than pretending windows are independent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class McNemarResult:
+    """Outcome of McNemar's paired test.
+
+    Attributes:
+        b: windows classifier A got right and B got wrong.
+        c: windows B got right and A got wrong.
+        statistic: continuity-corrected chi-squared statistic.
+        p_value: two-sided p-value (chi-squared with 1 dof; exact
+            binomial when b + c is small).
+    """
+
+    b: int
+    c: int
+    statistic: float
+    p_value: float
+
+    @property
+    def significant(self) -> bool:
+        """Conventional 5% significance."""
+        return self.p_value < 0.05
+
+
+def _chi2_sf_1dof(x: float) -> float:
+    """Survival function of chi-squared with 1 dof: erfc(sqrt(x/2))."""
+    return math.erfc(math.sqrt(max(x, 0.0) / 2.0))
+
+
+def mcnemar_test(
+    y_true: np.ndarray, pred_a: np.ndarray, pred_b: np.ndarray
+) -> McNemarResult:
+    """Paired comparison of two classifiers on the same test set.
+
+    Uses the exact binomial test when the disagreement count is below
+    25 (the chi-squared approximation is unreliable there), otherwise
+    the continuity-corrected chi-squared form.
+    """
+    y_true = np.asarray(y_true)
+    pred_a = np.asarray(pred_a)
+    pred_b = np.asarray(pred_b)
+    if not (y_true.shape == pred_a.shape == pred_b.shape):
+        raise ValueError("all three vectors must align")
+    a_right = pred_a == y_true
+    b_right = pred_b == y_true
+    b = int(np.sum(a_right & ~b_right))
+    c = int(np.sum(~a_right & b_right))
+    n = b + c
+    if n == 0:
+        return McNemarResult(b=b, c=c, statistic=0.0, p_value=1.0)
+    if n < 25:
+        # exact two-sided binomial test with p = 0.5
+        k = min(b, c)
+        tail = sum(math.comb(n, i) for i in range(0, k + 1)) / 2.0**n
+        p_value = min(1.0, 2.0 * tail)
+        statistic = float(n and (abs(b - c) - 1) ** 2 / n)
+    else:
+        statistic = (abs(b - c) - 1.0) ** 2 / n
+        p_value = _chi2_sf_1dof(statistic)
+    return McNemarResult(b=b, c=c, statistic=float(statistic), p_value=float(p_value))
+
+
+@dataclass(frozen=True)
+class BootstrapCI:
+    """Percentile bootstrap confidence interval for one metric."""
+
+    point: float
+    low: float
+    high: float
+    confidence: float
+    n_resamples: int
+
+    def __str__(self) -> str:
+        pct = int(self.confidence * 100)
+        return f"{self.point:.3f} [{self.low:.3f}, {self.high:.3f}] ({pct}% CI)"
+
+
+def bootstrap_metric_ci(
+    metric: Callable[[np.ndarray, np.ndarray], float],
+    y_true: np.ndarray,
+    scores: np.ndarray,
+    groups: np.ndarray | None = None,
+    confidence: float = 0.95,
+    n_resamples: int = 1000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Bootstrap CI of ``metric(y_true, scores)``.
+
+    Args:
+        metric: e.g. ``repro.ml.metrics.roc_auc`` or ``accuracy``.
+        y_true: test labels.
+        scores: test scores or predictions (whatever ``metric`` expects).
+        groups: optional per-sample group ids (application ids); when
+            given, resampling draws whole groups, respecting the fact
+            that windows of one application are correlated.
+        confidence: interval mass.
+        n_resamples: bootstrap replicates.
+        seed: resampling seed.
+    """
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores)
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true and scores must align")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    point = float(metric(y_true, scores))
+
+    if groups is None:
+        # IID bootstrap: every sample is its own resampling unit.
+        index_pool = [np.array([i]) for i in range(len(y_true))]
+    else:
+        groups = np.asarray(groups)
+        if groups.shape != y_true.shape:
+            raise ValueError("groups must align with y_true")
+        index_pool = [np.flatnonzero(groups == g) for g in np.unique(groups)]
+
+    replicates = []
+    attempts = 0
+    while len(replicates) < n_resamples and attempts < n_resamples * 3:
+        attempts += 1
+        chosen = rng.integers(0, len(index_pool), size=len(index_pool))
+        rows = np.concatenate([index_pool[i] for i in chosen])
+        try:
+            replicates.append(float(metric(y_true[rows], scores[rows])))
+        except ValueError:
+            continue  # a resample can lose one class entirely; redraw
+    if not replicates:
+        raise RuntimeError("no valid bootstrap replicate produced")
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(replicates, [alpha, 1.0 - alpha])
+    return BootstrapCI(
+        point=point,
+        low=float(low),
+        high=float(high),
+        confidence=confidence,
+        n_resamples=len(replicates),
+    )

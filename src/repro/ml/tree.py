@@ -1,0 +1,223 @@
+"""Shared machinery for the decision-tree learners (J48, REPTree).
+
+Both of the paper's tree classifiers are top-down inducers over numeric
+attributes with binary threshold splits; they differ in split criterion
+(gain ratio vs. information gain) and pruning (C4.5 pessimistic error
+vs. reduced-error pruning).  This module provides the node structure and
+the vectorized split search they share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+@dataclass
+class TreeNode:
+    """One node of a binary decision tree.
+
+    Attributes:
+        counts: weighted class counts of the training data reaching the node.
+        attribute: split attribute index (internal nodes only).
+        threshold: split threshold; left subtree takes ``value <= threshold``.
+        left, right: children (internal nodes only).
+    """
+
+    counts: np.ndarray
+    attribute: int | None = None
+    threshold: float | None = None
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    #: scratch field used by reduced-error pruning (held-out counts).
+    prune_counts: np.ndarray = field(default_factory=lambda: np.zeros(2))
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.attribute is None
+
+    @property
+    def majority(self) -> int:
+        return int(np.argmax(self.counts))
+
+    def make_leaf(self) -> None:
+        """Collapse this node into a leaf."""
+        self.attribute = None
+        self.threshold = None
+        self.left = None
+        self.right = None
+
+    # -- structure statistics (used by the hardware cost model) ---------
+    def n_nodes(self) -> int:
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return 1 + self.left.n_nodes() + self.right.n_nodes()
+
+    def n_leaves(self) -> int:
+        if self.is_leaf:
+            return 1
+        assert self.left is not None and self.right is not None
+        return self.left.n_leaves() + self.right.n_leaves()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        assert self.left is not None and self.right is not None
+        return 1 + max(self.left.depth(), self.right.depth())
+
+
+def entropy(counts: np.ndarray) -> float:
+    """Entropy (nats) of a weighted class-count vector."""
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts[counts > 0] / total
+    return float(-(p * np.log(p)).sum())
+
+
+@dataclass(frozen=True)
+class Split:
+    """Result of a split search on one node's data."""
+
+    attribute: int
+    threshold: float
+    gain: float
+    gain_ratio: float
+
+
+def best_split_for_attribute(
+    values: np.ndarray,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    min_leaf_weight: float,
+) -> tuple[float, float, float] | None:
+    """Best binary threshold on one attribute.
+
+    Vectorized sweep: sort once, build cumulative weighted class counts,
+    evaluate every distinct-value boundary simultaneously.
+
+    Returns:
+        ``(threshold, gain, gain_ratio)`` of the entropy-gain maximizing
+        cut, or None when no cut leaves ``min_leaf_weight`` on both sides.
+    """
+    order = np.argsort(values, kind="stable")
+    v, y, w = values[order], labels[order], weights[order]
+    boundaries = np.flatnonzero(np.diff(v) > 0)
+    if boundaries.size == 0:
+        return None
+    onehot = np.zeros((len(y), 2))
+    onehot[np.arange(len(y)), y] = w
+    cum = np.cumsum(onehot, axis=0)
+    total_counts = cum[-1]
+    total = total_counts.sum()
+
+    left = cum[boundaries]  # (k, 2)
+    right = total_counts - left
+    wl = left.sum(axis=1)
+    wr = right.sum(axis=1)
+    ok = (wl >= min_leaf_weight) & (wr >= min_leaf_weight)
+    if not ok.any():
+        return None
+    left, right, wl, wr = left[ok], right[ok], wl[ok], wr[ok]
+    boundaries = boundaries[ok]
+
+    def ent(counts: np.ndarray, mass: np.ndarray) -> np.ndarray:
+        p = counts / np.maximum(mass[:, None], _EPS)
+        p = np.clip(p, _EPS, 1.0)
+        return -(p * np.log(p)).sum(axis=1)
+
+    parent_entropy = entropy(total_counts)
+    children = (wl * ent(left, wl) + wr * ent(right, wr)) / total
+    gains = parent_entropy - children
+    pl, pr = wl / total, wr / total
+    split_info = -(pl * np.log(pl) + pr * np.log(pr))
+    ratios = gains / np.maximum(split_info, _EPS)
+
+    best = int(np.argmax(gains))
+    i = boundaries[best]
+    threshold = (v[i] + v[i + 1]) / 2.0
+    return threshold, float(gains[best]), float(ratios[best])
+
+
+def find_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    min_leaf_weight: float,
+    use_gain_ratio: bool,
+) -> Split | None:
+    """Search all attributes for the best split.
+
+    With ``use_gain_ratio`` (C4.5/J48) the winner is the highest gain
+    *ratio* among splits whose raw gain is at least the average positive
+    gain — C4.5's guard against the ratio favouring near-trivial splits.
+    Otherwise (REPTree) plain information gain decides.
+    """
+    candidates: list[Split] = []
+    for j in range(features.shape[1]):
+        found = best_split_for_attribute(features[:, j], labels, weights, min_leaf_weight)
+        if found is None:
+            continue
+        threshold, gain, ratio = found
+        if gain > _EPS:
+            candidates.append(Split(j, threshold, gain, ratio))
+    if not candidates:
+        return None
+    if not use_gain_ratio:
+        return max(candidates, key=lambda s: s.gain)
+    mean_gain = sum(s.gain for s in candidates) / len(candidates)
+    eligible = [s for s in candidates if s.gain >= mean_gain - _EPS]
+    return max(eligible, key=lambda s: s.gain_ratio)
+
+
+def grow_tree(
+    features: np.ndarray,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    min_leaf_weight: float,
+    use_gain_ratio: bool,
+    max_depth: int = -1,
+    _depth: int = 0,
+) -> TreeNode:
+    """Recursively grow an unpruned binary tree."""
+    counts = np.array([weights[labels == 0].sum(), weights[labels == 1].sum()])
+    node = TreeNode(counts=counts)
+    pure = (counts <= _EPS).any()
+    if pure or (0 <= max_depth <= _depth) or counts.sum() < 2 * min_leaf_weight:
+        return node
+    split = find_split(features, labels, weights, min_leaf_weight, use_gain_ratio)
+    if split is None:
+        return node
+    mask = features[:, split.attribute] <= split.threshold
+    node.attribute = split.attribute
+    node.threshold = split.threshold
+    node.left = grow_tree(
+        features[mask], labels[mask], weights[mask],
+        min_leaf_weight, use_gain_ratio, max_depth, _depth + 1,
+    )
+    node.right = grow_tree(
+        features[~mask], labels[~mask], weights[~mask],
+        min_leaf_weight, use_gain_ratio, max_depth, _depth + 1,
+    )
+    return node
+
+
+def route(node: TreeNode, row: np.ndarray) -> TreeNode:
+    """Follow a feature row from ``node`` down to its leaf."""
+    while not node.is_leaf:
+        assert node.attribute is not None and node.threshold is not None
+        assert node.left is not None and node.right is not None
+        node = node.left if row[node.attribute] <= node.threshold else node.right
+    return node
+
+
+def leaf_counts_matrix(node: TreeNode, features: np.ndarray) -> np.ndarray:
+    """Class counts of the leaf each row lands in, shape ``(n, 2)``."""
+    out = np.zeros((features.shape[0], 2))
+    for i in range(features.shape[0]):
+        out[i] = route(node, features[i]).counts
+    return out

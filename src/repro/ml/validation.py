@@ -1,0 +1,130 @@
+"""Train/test protocols matching the paper's §3.3 methodology.
+
+The paper validates with a 70%–30% split performed *per class at the
+application level*: 70% of benign apps plus 70% of malware apps train,
+the remaining 30%+30% test — so every test window comes from an
+application never seen in training ("unknown applications").  A naive
+split over windows would leak application identity into the test set and
+inflate every metric; :func:`sample_level_split` exists precisely so the
+ablation bench can measure that leak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.dataset import BENIGN, MALWARE, Dataset
+
+
+@dataclass(frozen=True)
+class SplitResult:
+    """Train/test datasets plus the application ids behind each side."""
+
+    train: Dataset
+    test: Dataset
+    train_apps: tuple[int, ...]
+    test_apps: tuple[int, ...]
+
+
+def _apps_by_class(dataset: Dataset) -> tuple[np.ndarray, np.ndarray]:
+    app_ids = np.unique(dataset.app_ids)
+    labels = np.array([dataset.app_label(a) for a in app_ids])
+    return app_ids[labels == BENIGN], app_ids[labels == MALWARE]
+
+
+def app_level_split(
+    dataset: Dataset, train_fraction: float = 0.7, seed: int = 0
+) -> SplitResult:
+    """The paper's stratified application-level 70/30 split.
+
+    Args:
+        dataset: full corpus with provenance.
+        train_fraction: fraction of each class's *applications* used for
+            training (paper: 0.7).
+        seed: shuffle seed.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    train_apps: list[int] = []
+    test_apps: list[int] = []
+    for class_apps in _apps_by_class(dataset):
+        if class_apps.size < 2:
+            raise ValueError("need at least two applications per class to split")
+        shuffled = rng.permutation(class_apps)
+        n_train = max(int(round(train_fraction * class_apps.size)), 1)
+        n_train = min(n_train, class_apps.size - 1)
+        train_apps.extend(int(a) for a in shuffled[:n_train])
+        test_apps.extend(int(a) for a in shuffled[n_train:])
+    return SplitResult(
+        train=dataset.select_apps(train_apps),
+        test=dataset.select_apps(test_apps),
+        train_apps=tuple(sorted(train_apps)),
+        test_apps=tuple(sorted(test_apps)),
+    )
+
+
+def sample_level_split(
+    dataset: Dataset, train_fraction: float = 0.7, seed: int = 0
+) -> SplitResult:
+    """Leaky window-level split (for the leakage ablation only).
+
+    Windows of the same application can land on both sides, so the test
+    set is not made of unknown applications.
+    """
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(dataset.n_samples)
+    n_train = max(int(round(train_fraction * dataset.n_samples)), 1)
+    train_rows, test_rows = order[:n_train], order[n_train:]
+
+    def subset(rows: np.ndarray) -> Dataset:
+        return Dataset(
+            features=dataset.features[rows],
+            labels=dataset.labels[rows],
+            feature_names=dataset.feature_names,
+            app_ids=dataset.app_ids[rows],
+            app_names=dataset.app_names,
+            app_families=dataset.app_families,
+        )
+
+    return SplitResult(
+        train=subset(train_rows),
+        test=subset(test_rows),
+        train_apps=tuple(sorted(int(a) for a in np.unique(dataset.app_ids[train_rows]))),
+        test_apps=tuple(sorted(int(a) for a in np.unique(dataset.app_ids[test_rows]))),
+    )
+
+
+def app_level_kfold(
+    dataset: Dataset, n_folds: int = 5, seed: int = 0
+) -> list[SplitResult]:
+    """Stratified k-fold cross-validation over applications."""
+    if n_folds < 2:
+        raise ValueError("n_folds must be >= 2")
+    rng = np.random.default_rng(seed)
+    benign_apps, malware_apps = _apps_by_class(dataset)
+    if min(benign_apps.size, malware_apps.size) < n_folds:
+        raise ValueError("not enough applications per class for the fold count")
+    folds: list[list[int]] = [[] for _ in range(n_folds)]
+    for class_apps in (benign_apps, malware_apps):
+        shuffled = rng.permutation(class_apps)
+        for i, app in enumerate(shuffled):
+            folds[i % n_folds].append(int(app))
+    results = []
+    all_apps = {int(a) for a in np.unique(dataset.app_ids)}
+    for fold in folds:
+        test_apps = sorted(fold)
+        train_apps = sorted(all_apps - set(fold))
+        results.append(
+            SplitResult(
+                train=dataset.select_apps(train_apps),
+                test=dataset.select_apps(test_apps),
+                train_apps=tuple(train_apps),
+                test_apps=tuple(test_apps),
+            )
+        )
+    return results

@@ -1,0 +1,52 @@
+"""Synthetic workload corpus: benign archetypes and malware families.
+
+Substitutes for the paper's corpus of >100 real applications (MiBench +
+Linux programs, and VirusTotal Linux malware).  See DESIGN.md §2 for why
+the substitution preserves the behaviour the experiments depend on.
+"""
+
+from repro.workloads.benign import BENIGN_FAMILIES
+from repro.workloads.corpus import (
+    DEFAULT_APP_SIGMA,
+    CorpusBuilder,
+    FamilySpec,
+    default_corpus,
+)
+from repro.workloads.dataset import (
+    BENIGN,
+    LABEL_NAMES,
+    MALWARE,
+    Dataset,
+    concatenate,
+)
+from repro.workloads.interference import (
+    InterferenceModel,
+    perturb_dataset_features,
+)
+from repro.workloads.evasion import (
+    blend_phases,
+    evasive_families,
+    evasive_variant,
+    payload_throughput,
+)
+from repro.workloads.malware import MALWARE_FAMILIES
+
+__all__ = [
+    "BENIGN",
+    "BENIGN_FAMILIES",
+    "DEFAULT_APP_SIGMA",
+    "LABEL_NAMES",
+    "MALWARE",
+    "MALWARE_FAMILIES",
+    "CorpusBuilder",
+    "Dataset",
+    "FamilySpec",
+    "InterferenceModel",
+    "blend_phases",
+    "concatenate",
+    "default_corpus",
+    "evasive_families",
+    "evasive_variant",
+    "payload_throughput",
+    "perturb_dataset_features",
+]

@@ -1,0 +1,127 @@
+"""Benign application archetypes.
+
+The paper's benign corpus is MiBench (an embedded benchmark suite spanning
+automotive, network, telecomm, consumer, security, and office categories)
+plus everyday Linux programs: system utilities, browsers, text editors and
+a word processor.  Each family below is a phase mixture modelled on the
+published characterization of those workloads.
+"""
+
+from __future__ import annotations
+
+from repro.hpc.microarch import PhaseMix
+from repro.workloads.corpus import FamilySpec
+from repro.workloads.dataset import BENIGN
+from repro.workloads.phases import (
+    branchy_phase,
+    compute_phase,
+    crypto_phase,
+    idle_phase,
+    interpreter_phase,
+    pointer_chasing_phase,
+    streaming_phase,
+    syscall_phase,
+)
+
+BENIGN_FAMILIES: tuple[FamilySpec, ...] = (
+    FamilySpec(
+        name="mibench_automotive",
+        label=BENIGN,
+        n_apps=8,
+        phases=[
+            PhaseMix(compute_phase(1.0), 0.6),
+            PhaseMix(branchy_phase(0.8), 0.25),
+            PhaseMix(streaming_phase(0.6), 0.15),
+        ],
+        description="basicmath/bitcount/qsort/susan: ALU kernels with light control",
+    ),
+    FamilySpec(
+        name="mibench_network",
+        label=BENIGN,
+        n_apps=6,
+        phases=[
+            PhaseMix(pointer_chasing_phase(0.8), 0.55),
+            PhaseMix(compute_phase(0.7), 0.30),
+            PhaseMix(branchy_phase(0.9), 0.15),
+        ],
+        description="dijkstra/patricia: graph and trie traversal, pointer-bound",
+    ),
+    FamilySpec(
+        name="mibench_telecomm",
+        label=BENIGN,
+        n_apps=8,
+        phases=[
+            PhaseMix(streaming_phase(0.8), 0.5),
+            PhaseMix(compute_phase(1.2), 0.5),
+        ],
+        description="FFT/CRC32/ADPCM/GSM: regular signal-processing loops",
+    ),
+    FamilySpec(
+        name="mibench_consumer",
+        label=BENIGN,
+        n_apps=8,
+        phases=[
+            PhaseMix(streaming_phase(1.0), 0.4),
+            PhaseMix(compute_phase(0.9), 0.35),
+            PhaseMix(branchy_phase(1.0), 0.25),
+        ],
+        description="jpeg/lame/mad/typeset: media codecs, mixed behaviour",
+    ),
+    FamilySpec(
+        name="mibench_security",
+        label=BENIGN,
+        n_apps=6,
+        phases=[
+            PhaseMix(crypto_phase(1.0), 0.75),
+            PhaseMix(streaming_phase(0.5), 0.25),
+        ],
+        description="blowfish/rijndael/sha: register-resident crypto kernels",
+    ),
+    FamilySpec(
+        name="mibench_office",
+        label=BENIGN,
+        n_apps=6,
+        phases=[
+            PhaseMix(branchy_phase(1.0), 0.6),
+            PhaseMix(pointer_chasing_phase(0.6), 0.2),
+            PhaseMix(syscall_phase(0.6), 0.2),
+        ],
+        description="stringsearch/ispell/rsynth: text processing, branch dense",
+    ),
+    FamilySpec(
+        name="system_utils",
+        label=BENIGN,
+        n_apps=10,
+        phases=[
+            PhaseMix(syscall_phase(0.8), 0.5),
+            PhaseMix(branchy_phase(0.9), 0.3),
+            PhaseMix(streaming_phase(0.4), 0.2),
+        ],
+        description="ls/ps/grep/tar/...: short-lived, kernel-crossing utilities",
+    ),
+    FamilySpec(
+        name="browser",
+        label=BENIGN,
+        n_apps=4,
+        phases=[
+            PhaseMix(interpreter_phase(0.85), 0.35),
+            PhaseMix(pointer_chasing_phase(1.0), 0.25),
+            PhaseMix(idle_phase(), 0.25),
+            PhaseMix(syscall_phase(0.8), 0.15),
+        ],
+        description="web browsers: JS interpreter + DOM walks + waits",
+        mean_dwell_windows=12.0,
+    ),
+    FamilySpec(
+        name="editor",
+        label=BENIGN,
+        n_apps=6,
+        phases=[
+            PhaseMix(idle_phase(), 0.55),
+            PhaseMix(branchy_phase(0.8), 0.25),
+            PhaseMix(syscall_phase(0.5), 0.20),
+        ],
+        description="text editors / word processor: interactive, mostly idle",
+        mean_dwell_windows=15.0,
+    ),
+)

@@ -1,0 +1,221 @@
+"""Dataset container for HPC samples with CSV and WEKA ARFF input/output.
+
+A :class:`Dataset` holds one row per sampling window: the measured event
+counts, the binary class label, and provenance (application id, name,
+family).  Provenance matters because the paper splits train/test *by
+application* — test applications are unseen, not merely test windows —
+and a container that forgets which app produced a window cannot do that
+split correctly.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+#: Class label values used across the framework.
+BENIGN, MALWARE = 0, 1
+
+LABEL_NAMES = {BENIGN: "benign", MALWARE: "malware"}
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Immutable table of HPC samples with labels and provenance.
+
+    Attributes:
+        features: array ``(n_samples, n_features)`` of event counts.
+        labels: array ``(n_samples,)`` of 0 (benign) / 1 (malware).
+        feature_names: event name of each feature column.
+        app_ids: array ``(n_samples,)`` mapping each row to an application.
+        app_names: name of each application, indexed by app id.
+        app_families: family of each application, indexed by app id.
+    """
+
+    features: np.ndarray
+    labels: np.ndarray
+    feature_names: tuple[str, ...]
+    app_ids: np.ndarray
+    app_names: tuple[str, ...]
+    app_families: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        n = self.features.shape[0]
+        if self.labels.shape != (n,):
+            raise ValueError("labels must align with feature rows")
+        if self.app_ids.shape != (n,):
+            raise ValueError("app_ids must align with feature rows")
+        if self.features.shape[1] != len(self.feature_names):
+            raise ValueError("feature_names must match feature columns")
+        if len(self.app_names) != len(self.app_families):
+            raise ValueError("app_names and app_families must align")
+        if n and int(self.app_ids.max()) >= len(self.app_names):
+            raise ValueError("app_ids reference unknown applications")
+        bad = set(np.unique(self.labels)) - {BENIGN, MALWARE}
+        if bad:
+            raise ValueError(f"labels must be 0/1, found {sorted(bad)}")
+
+    # ------------------------------------------------------------------
+    # basic views
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def n_apps(self) -> int:
+        return len(self.app_names)
+
+    def app_label(self, app_id: int) -> int:
+        """Class label of one application (constant across its windows)."""
+        rows = np.flatnonzero(self.app_ids == app_id)
+        if rows.size == 0:
+            raise KeyError(f"application {app_id} has no samples")
+        labels = np.unique(self.labels[rows])
+        if labels.size != 1:
+            raise ValueError(f"application {app_id} has mixed labels")
+        return int(labels[0])
+
+    def select_features(self, names: list[str] | tuple[str, ...]) -> "Dataset":
+        """Project the dataset onto a subset of event columns, in order."""
+        index = {name: i for i, name in enumerate(self.feature_names)}
+        missing = [name for name in names if name not in index]
+        if missing:
+            raise KeyError(f"unknown features: {missing}")
+        cols = [index[name] for name in names]
+        return Dataset(
+            features=self.features[:, cols].copy(),
+            labels=self.labels,
+            feature_names=tuple(names),
+            app_ids=self.app_ids,
+            app_names=self.app_names,
+            app_families=self.app_families,
+        )
+
+    def select_apps(self, app_ids: list[int] | np.ndarray) -> "Dataset":
+        """Keep only the samples of the given applications."""
+        keep = np.isin(self.app_ids, np.asarray(app_ids))
+        return Dataset(
+            features=self.features[keep],
+            labels=self.labels[keep],
+            feature_names=self.feature_names,
+            app_ids=self.app_ids[keep],
+            app_names=self.app_names,
+            app_families=self.app_families,
+        )
+
+    def class_counts(self) -> dict[str, int]:
+        """Sample counts per class name."""
+        return {
+            LABEL_NAMES[label]: int((self.labels == label).sum())
+            for label in (BENIGN, MALWARE)
+        }
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description."""
+        counts = self.class_counts()
+        benign_apps = sum(1 for a in range(self.n_apps) if self.app_label(a) == BENIGN)
+        return (
+            f"Dataset: {self.n_samples} samples x {self.n_features} events, "
+            f"{self.n_apps} applications ({benign_apps} benign, "
+            f"{self.n_apps - benign_apps} malware), "
+            f"{counts['benign']} benign / {counts['malware']} malware samples"
+        )
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def to_csv(self, path: str | Path) -> None:
+        """Write the dataset (with provenance columns) to CSV."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["app_id", "app_name", "family", "label", *self.feature_names])
+            for i in range(self.n_samples):
+                app = int(self.app_ids[i])
+                writer.writerow(
+                    [
+                        app,
+                        self.app_names[app],
+                        self.app_families[app],
+                        int(self.labels[i]),
+                        *(repr(float(v)) for v in self.features[i]),
+                    ]
+                )
+
+    @classmethod
+    def from_csv(cls, path: str | Path) -> "Dataset":
+        """Load a dataset previously written by :meth:`to_csv`."""
+        path = Path(path)
+        with path.open(newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader)
+            if header[:4] != ["app_id", "app_name", "family", "label"]:
+                raise ValueError(f"{path} is not a repro dataset CSV")
+            feature_names = tuple(header[4:])
+            rows, labels, app_ids = [], [], []
+            names: dict[int, str] = {}
+            families: dict[int, str] = {}
+            for record in reader:
+                app = int(record[0])
+                names[app] = record[1]
+                families[app] = record[2]
+                app_ids.append(app)
+                labels.append(int(record[3]))
+                rows.append([float(v) for v in record[4:]])
+        n_apps = max(names) + 1 if names else 0
+        return cls(
+            features=np.array(rows) if rows else np.zeros((0, len(feature_names))),
+            labels=np.array(labels, dtype=np.intp),
+            feature_names=feature_names,
+            app_ids=np.array(app_ids, dtype=np.intp),
+            app_names=tuple(names.get(i, f"app{i}") for i in range(n_apps)),
+            app_families=tuple(families.get(i, "unknown") for i in range(n_apps)),
+        )
+
+    def to_arff(self, path: str | Path, relation: str = "hmd_hpc_samples") -> None:
+        """Write a WEKA ARFF file, the format the paper's toolchain consumes."""
+        path = Path(path)
+        with path.open("w") as handle:
+            handle.write(f"@RELATION {relation}\n\n")
+            for name in self.feature_names:
+                handle.write(f"@ATTRIBUTE {name} NUMERIC\n")
+            handle.write("@ATTRIBUTE class {benign,malware}\n\n@DATA\n")
+            for i in range(self.n_samples):
+                values = ",".join(repr(float(v)) for v in self.features[i])
+                handle.write(f"{values},{LABEL_NAMES[int(self.labels[i])]}\n")
+
+
+def concatenate(datasets: list[Dataset]) -> Dataset:
+    """Stack datasets that share a feature space, re-numbering applications."""
+    if not datasets:
+        raise ValueError("need at least one dataset")
+    names = datasets[0].feature_names
+    for ds in datasets[1:]:
+        if ds.feature_names != names:
+            raise ValueError("datasets have different feature spaces")
+    app_names: list[str] = []
+    app_families: list[str] = []
+    features, labels, app_ids = [], [], []
+    for ds in datasets:
+        offset = len(app_names)
+        app_names.extend(ds.app_names)
+        app_families.extend(ds.app_families)
+        features.append(ds.features)
+        labels.append(ds.labels)
+        app_ids.append(ds.app_ids + offset)
+    return Dataset(
+        features=np.vstack(features),
+        labels=np.concatenate(labels),
+        feature_names=names,
+        app_ids=np.concatenate(app_ids),
+        app_names=tuple(app_names),
+        app_families=tuple(app_families),
+    )

@@ -1,0 +1,99 @@
+"""Evasive malware: payloads that mimic benign microarchitectural profiles.
+
+The follow-up literature to HPC-based detection (e.g. reverse-engineering
+HMDs to evade them) asks the question this module makes testable: *how
+much accuracy survives when malware deliberately shapes its HPC
+footprint toward benign behaviour?*  An attacker can throttle the
+payload, interleave benign-looking work, and pad hot loops — all of
+which pull the latent phase rates toward a benign cover profile at some
+cost in payload throughput.
+
+:func:`evasive_variant` produces an evasion-strength-parameterized copy
+of any malware family: each phase's latent rates are geometrically
+interpolated toward a benign *cover phase* (log-space blending keeps
+rates positive and models multiplicative throttling).  Strength 0 is the
+original family; strength 1 is microarchitecturally indistinguishable
+from the cover — and correspondingly useless to the attacker, whose
+payload throughput shrinks with the same factor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.hpc.microarch import PhaseMix, PhaseParameters
+from repro.workloads.corpus import FamilySpec
+from repro.workloads.phases import branchy_phase
+
+
+def blend_phases(
+    payload: PhaseParameters, cover: PhaseParameters, strength: float
+) -> PhaseParameters:
+    """Geometric interpolation of latent rates from payload toward cover.
+
+    Args:
+        payload: the malware phase being disguised.
+        cover: the benign profile it imitates.
+        strength: 0 = payload unchanged, 1 = identical to cover.
+    """
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError("strength must be in [0, 1]")
+    fields = {}
+    for field in dataclasses.fields(payload):
+        a = getattr(payload, field.name)
+        b = getattr(cover, field.name)
+        fields[field.name] = float(
+            math.exp((1.0 - strength) * math.log(max(a, 1e-9))
+                     + strength * math.log(max(b, 1e-9)))
+        )
+    return PhaseParameters(**fields)
+
+
+def evasive_variant(
+    family: FamilySpec,
+    strength: float,
+    cover: PhaseParameters | None = None,
+) -> FamilySpec:
+    """Evasion-strength-parameterized copy of a malware family.
+
+    Args:
+        family: original malware family.
+        strength: how hard the attacker disguises (0 = not at all).
+        cover: benign profile imitated; defaults to ordinary
+            control-flow-heavy application code (:func:`branchy_phase`),
+            the least conspicuous thing to look like.
+    """
+    cover = cover if cover is not None else branchy_phase()
+    phases = [
+        PhaseMix(params=blend_phases(mix.params, cover, strength), weight=mix.weight)
+        for mix in family.phases
+    ]
+    return dataclasses.replace(
+        family,
+        name=f"{family.name}_evasive{int(round(strength * 100)):02d}",
+        phases=phases,
+        description=f"{family.description} [evasion strength {strength:.0%}]",
+    )
+
+
+def evasive_families(
+    families: tuple[FamilySpec, ...] | list[FamilySpec],
+    strength: float,
+    cover: PhaseParameters | None = None,
+) -> tuple[FamilySpec, ...]:
+    """Evasive copies of a whole malware family list."""
+    return tuple(evasive_variant(f, strength, cover) for f in families)
+
+
+def payload_throughput(strength: float) -> float:
+    """Fraction of malicious work the evasive payload still performs.
+
+    Disguising means substituting cover activity for payload activity;
+    geometric blending at strength ``s`` leaves the attacker roughly
+    ``(1 - s)`` of the original payload rate.  This is the attacker's
+    cost axis for the evasion trade-off curve.
+    """
+    if not 0.0 <= strength <= 1.0:
+        raise ValueError("strength must be in [0, 1]")
+    return 1.0 - strength

@@ -1,0 +1,112 @@
+"""Multi-tenant interference: detection while other programs co-run.
+
+The paper profiles one application at a time in an isolated container,
+but a deployed run-time detector watches a core that shares caches, TLBs
+and memory bandwidth with neighbours.  Co-runners perturb the monitored
+application's counters in two ways:
+
+* **contention** — shared-resource misses rise with the neighbour's
+  memory intensity (cache/TLB/LLC/memory events inflate);
+* **counter bleed** — with per-core (not per-process) counters, a
+  fraction of the neighbour's own events lands in the monitored counts
+  when the OS timeslices both onto the core.
+
+:class:`InterferenceModel` applies both effects to a clean trace, so the
+robustness of a trained detector to deployment noise can be measured
+without retraining the whole substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hpc.events import ALL_EVENTS, EVENT_INDEX, EventClass
+
+#: Events inflated by shared-resource contention (caches, TLBs, memory).
+_CONTENTION_CLASSES = (EventClass.CACHE, EventClass.TLB, EventClass.MEMORY)
+
+
+@dataclass(frozen=True)
+class InterferenceModel:
+    """Perturbation applied by one co-running neighbour.
+
+    Attributes:
+        memory_intensity: how cache/TLB/memory-hungry the neighbour is,
+            in [0, 1]; scales the contention inflation of shared-resource
+            miss events (an intensity of 1 roughly doubles them).
+        timeslice_bleed: fraction of the neighbour's events that land in
+            the monitored counts via core-level counting, in [0, 0.5].
+        seed: noise seed.
+    """
+
+    memory_intensity: float = 0.3
+    timeslice_bleed: float = 0.05
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.memory_intensity <= 1.0:
+            raise ValueError("memory_intensity must be in [0, 1]")
+        if not 0.0 <= self.timeslice_bleed <= 0.5:
+            raise ValueError("timeslice_bleed must be in [0, 0.5]")
+
+    def contention_factor(self, event: str) -> float:
+        """Multiplicative inflation contention applies to one event."""
+        descriptor = EVENT_INDEX[event]
+        if descriptor.event_class in _CONTENTION_CLASSES and (
+            "miss" in event or event in ("cache_misses", "cache_references")
+        ):
+            return 1.0 + self.memory_intensity
+        return 1.0
+
+    def apply(
+        self,
+        trace: np.ndarray,
+        neighbour_trace: np.ndarray,
+        event_names: tuple[str, ...] = ALL_EVENTS,
+    ) -> np.ndarray:
+        """Perturb a clean trace with a neighbour's co-running activity.
+
+        Args:
+            trace: monitored application's windows ``(n, len(event_names))``.
+            neighbour_trace: co-runner's windows, same shape (rows beyond
+                ``n`` are ignored; shorter neighbours are cycled).
+            event_names: column names of both traces.
+
+        Returns:
+            Perturbed trace of the same shape.
+        """
+        trace = np.asarray(trace, dtype=float)
+        neighbour_trace = np.asarray(neighbour_trace, dtype=float)
+        if trace.shape[1] != len(event_names):
+            raise ValueError("trace columns must match event_names")
+        if neighbour_trace.shape[1] != trace.shape[1]:
+            raise ValueError("neighbour trace must share the event space")
+        n = trace.shape[0]
+        if neighbour_trace.shape[0] < n:
+            repeats = -(-n // neighbour_trace.shape[0])
+            neighbour_trace = np.tile(neighbour_trace, (repeats, 1))
+        neighbour_trace = neighbour_trace[:n]
+
+        rng = np.random.default_rng(self.seed)
+        factors = np.array([self.contention_factor(e) for e in event_names])
+        jitter = np.exp(rng.normal(0.0, 0.03, size=trace.shape))
+        contended = trace * factors[None, :] * jitter
+        return contended + self.timeslice_bleed * neighbour_trace
+
+
+def perturb_dataset_features(
+    features: np.ndarray,
+    event_names: tuple[str, ...],
+    model: InterferenceModel,
+    neighbour_features: np.ndarray,
+) -> np.ndarray:
+    """Apply interference window-wise to a dataset's feature matrix.
+
+    Neighbour windows are drawn randomly (a deployed system does not
+    control which neighbour phase coincides with which window).
+    """
+    rng = np.random.default_rng(model.seed + 1)
+    rows = rng.integers(0, neighbour_features.shape[0], size=features.shape[0])
+    return model.apply(features, neighbour_features[rows], event_names)

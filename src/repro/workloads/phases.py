@@ -1,0 +1,260 @@
+"""Reusable microarchitectural phase archetypes.
+
+Benign applications and malware families are both assembled from a small
+vocabulary of phase archetypes (compute kernels, streaming loops, pointer
+chasing, interpreter dispatch, system-call storms, idling, encryption).
+Keeping the vocabulary shared between the two classes is deliberate: a
+malware sample is not microarchitecturally alien — it *reuses* ordinary
+phases in unusual proportions and with unusual rate shifts, which is
+precisely why single-counter detection is hard and the classification
+problem is interesting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hpc.microarch import PhaseParameters
+
+
+def tinted(params: PhaseParameters, **scales: float) -> PhaseParameters:
+    """Scale selected latent rates of a phase — a family's payload "tint".
+
+    Real malware does not pause its payload while it happens to be in an
+    I/O or control phase: credential scraping keeps touching pages during
+    system calls, a dropper keeps interpreting bytecode while staging
+    files.  ``tinted(syscall_phase(), itlb_miss_rate=1.5)`` returns the
+    same phase with the iTLB pressure of that concurrent payload folded
+    in.  Rates are clipped to their physical range after scaling.
+
+    Args:
+        params: base phase.
+        **scales: field-name → multiplicative factor.
+    """
+    updates = {}
+    for name, factor in scales.items():
+        if not hasattr(params, name):
+            raise AttributeError(f"PhaseParameters has no field {name!r}")
+        ceiling = 4.0 if name in ("ipc", "prefetch_intensity") else 1.0
+        updates[name] = float(min(getattr(params, name) * factor, ceiling))
+    return dataclasses.replace(params, **updates)
+
+
+def compute_phase(intensity: float = 1.0) -> PhaseParameters:
+    """ALU-bound kernel: high IPC, few memory references, light misses."""
+    return PhaseParameters(
+        ipc=1.8 * intensity,
+        branch_ratio=0.14,
+        branch_mispred_rate=0.025,
+        load_ratio=0.20,
+        store_ratio=0.08,
+        l1d_load_miss_rate=0.015,
+        l1d_store_miss_rate=0.010,
+        llc_miss_rate=0.15,
+        frontend_stall_frac=0.10,
+        backend_stall_frac=0.15,
+    )
+
+
+def streaming_phase(footprint: float = 1.0) -> PhaseParameters:
+    """Sequential array traversal: prefetch-friendly, bandwidth-bound."""
+    return PhaseParameters(
+        ipc=1.4,
+        branch_ratio=0.10,
+        branch_mispred_rate=0.01,
+        load_ratio=0.38,
+        store_ratio=0.16,
+        l1d_load_miss_rate=0.05 * footprint,
+        l1d_store_miss_rate=0.03 * footprint,
+        llc_miss_rate=0.45,
+        prefetch_intensity=1.4,
+        dtlb_load_miss_rate=0.002,
+        backend_stall_frac=0.35,
+    )
+
+
+def pointer_chasing_phase(footprint: float = 1.0) -> PhaseParameters:
+    """Linked-structure walks: latency-bound, TLB- and cache-hostile."""
+    return PhaseParameters(
+        ipc=0.6,
+        branch_ratio=0.20,
+        branch_mispred_rate=0.06,
+        load_ratio=0.42,
+        store_ratio=0.08,
+        l1d_load_miss_rate=0.10 * footprint,
+        llc_miss_rate=0.55,
+        dtlb_load_miss_rate=0.015 * footprint,
+        prefetch_intensity=0.2,
+        backend_stall_frac=0.55,
+    )
+
+
+def branchy_phase(density: float = 1.0) -> PhaseParameters:
+    """Control-flow-dominated code: parsers, spell checkers, searches."""
+    return PhaseParameters(
+        ipc=1.0,
+        branch_ratio=min(0.22 * density, 0.45),
+        branch_mispred_rate=0.07,
+        bpu_miss_rate=0.05,
+        load_ratio=0.26,
+        store_ratio=0.10,
+        l1d_load_miss_rate=0.025,
+        l1i_miss_rate=0.015,
+        frontend_stall_frac=0.30,
+    )
+
+
+def interpreter_phase(dispatch: float = 1.0) -> PhaseParameters:
+    """Bytecode/script interpreter dispatch loop.
+
+    Indirect branches every few instructions, large warm code footprint:
+    elevated branch traffic, BPU misses, L1I and iTLB pressure — the
+    signature of python/perl/bash payloads.
+    """
+    return PhaseParameters(
+        ipc=0.9,
+        branch_ratio=min(0.30 * dispatch, 0.45),
+        branch_mispred_rate=0.09,
+        bpu_miss_rate=0.08,
+        load_ratio=0.30,
+        store_ratio=0.14,
+        l1d_load_miss_rate=0.03,
+        l1i_miss_rate=0.04 * dispatch,
+        itlb_miss_rate=0.010 * dispatch,
+        dtlb_load_miss_rate=0.006,
+        frontend_stall_frac=0.35,
+    )
+
+
+def syscall_phase(rate: float = 1.0) -> PhaseParameters:
+    """System-call heavy activity: kernel crossings thrash the front end."""
+    return PhaseParameters(
+        ipc=0.7,
+        branch_ratio=0.19,
+        branch_mispred_rate=0.05,
+        load_ratio=0.30,
+        store_ratio=0.14,
+        l1i_miss_rate=0.05 * rate,
+        itlb_miss_rate=0.009 * rate,
+        dtlb_load_miss_rate=0.008,
+        dtlb_store_miss_rate=0.006,
+        frontend_stall_frac=0.40,
+    )
+
+
+def idle_phase() -> PhaseParameters:
+    """Blocked on input or sleeping: the core barely runs the program."""
+    return PhaseParameters(
+        ipc=0.4,
+        utilization=0.10,
+        branch_ratio=0.16,
+        load_ratio=0.25,
+        store_ratio=0.10,
+        noise_sigma=0.20,
+    )
+
+
+def crypto_phase(throughput: float = 1.0) -> PhaseParameters:
+    """Block cipher / hash kernel: register-resident, extremely regular."""
+    return PhaseParameters(
+        ipc=2.2 * throughput,
+        branch_ratio=0.06,
+        branch_mispred_rate=0.005,
+        load_ratio=0.16,
+        store_ratio=0.10,
+        l1d_load_miss_rate=0.008,
+        llc_miss_rate=0.10,
+        frontend_stall_frac=0.05,
+        backend_stall_frac=0.10,
+    )
+
+
+def store_heavy_phase(volume: float = 1.0) -> PhaseParameters:
+    """Bulk in-place rewriting (e.g. file encryption): store-dominated."""
+    return PhaseParameters(
+        ipc=1.1,
+        branch_ratio=0.09,
+        load_ratio=0.30,
+        store_ratio=min(0.30 * volume, 0.6),
+        l1d_store_miss_rate=0.08 * volume,
+        l1d_load_miss_rate=0.04,
+        llc_miss_rate=0.50,
+        dtlb_store_miss_rate=0.010 * volume,
+        backend_stall_frac=0.45,
+    )
+
+
+def network_loop_phase(rate: float = 1.0) -> PhaseParameters:
+    """Tight packet-emission loop: small, hot, branch-dense, cache-resident."""
+    return PhaseParameters(
+        ipc=1.5,
+        branch_ratio=min(0.28 * rate, 0.45),
+        branch_mispred_rate=0.02,
+        bpu_miss_rate=0.015,
+        load_ratio=0.22,
+        store_ratio=0.12,
+        l1d_load_miss_rate=0.008,
+        l1i_miss_rate=0.004,
+        llc_miss_rate=0.12,
+        itlb_miss_rate=0.001,
+        frontend_stall_frac=0.12,
+    )
+
+
+def mining_phase(throughput: float = 1.0) -> PhaseParameters:
+    """Memory-hard proof-of-work kernel (scrypt-like).
+
+    Distinguishes coin miners from benign crypto: the hash core is
+    register-resident like :func:`crypto_phase`, but the scratchpad
+    deliberately thrashes the LLC and memory controller.
+    """
+    return PhaseParameters(
+        ipc=1.6 * throughput,
+        branch_ratio=0.07,
+        branch_mispred_rate=0.006,
+        load_ratio=0.30,
+        store_ratio=0.14,
+        l1d_load_miss_rate=0.06,
+        llc_miss_rate=0.70,
+        dtlb_load_miss_rate=0.006,
+        node_remote_ratio=0.10,
+        prefetch_intensity=0.15,
+        backend_stall_frac=0.40,
+    )
+
+
+def beacon_idle_phase() -> PhaseParameters:
+    """Implant dormancy: mostly asleep, but waking to beacon home.
+
+    Unlike a truly idle editor, the periodic wake-ups keep kernel entry
+    paths warm (iTLB/branch activity at low utilization).
+    """
+    return PhaseParameters(
+        ipc=0.5,
+        utilization=0.18,
+        branch_ratio=0.22,
+        branch_mispred_rate=0.05,
+        load_ratio=0.28,
+        store_ratio=0.12,
+        l1i_miss_rate=0.03,
+        itlb_miss_rate=0.006,
+        noise_sigma=0.18,
+    )
+
+
+def scanning_phase(breadth: float = 1.0) -> PhaseParameters:
+    """Filesystem/memory sweep: touches many pages once, TLB-hostile."""
+    return PhaseParameters(
+        ipc=0.8,
+        branch_ratio=0.24,
+        branch_mispred_rate=0.05,
+        load_ratio=0.36,
+        store_ratio=0.10,
+        l1d_load_miss_rate=0.07,
+        llc_miss_rate=0.60,
+        dtlb_load_miss_rate=0.020 * breadth,
+        dtlb_store_miss_rate=0.008 * breadth,
+        itlb_miss_rate=0.012 * breadth,
+        node_remote_ratio=0.15,
+        backend_stall_frac=0.50,
+    )

@@ -1,0 +1,60 @@
+"""Cross-validated evaluation records."""
+
+import pytest
+
+from repro.analysis.crossval import CrossValRecord, cross_validated_record, stability_table
+from repro.core.config import DetectorConfig
+
+
+@pytest.fixture(scope="module")
+def record(small_corpus):
+    return cross_validated_record(
+        small_corpus, DetectorConfig("OneR", "general", 2), n_folds=3, seed=1
+    )
+
+
+def test_record_fields(record):
+    assert record.n_folds == 3
+    assert 0.0 <= record.accuracy_mean <= 1.0
+    assert record.accuracy_std >= 0.0
+    assert 0.0 <= record.auc_mean <= 1.0
+
+
+def test_performance_is_product(record):
+    assert record.performance_mean == pytest.approx(
+        record.accuracy_mean * record.auc_mean
+    )
+
+
+def test_str_contains_error_bars(record):
+    text = str(record)
+    assert "±" in text
+    assert "2HPC-OneR" in text
+
+
+def test_nontrivial_fold_variance(record):
+    """Different test folds contain different unknown apps, so fold
+    scores genuinely differ — the variance the single-split paper hides."""
+    assert record.accuracy_std > 0.0
+
+
+def test_stability_table_sorted(small_corpus):
+    records = [
+        cross_validated_record(
+            small_corpus, DetectorConfig(name, "general", 4), n_folds=3, seed=1
+        )
+        for name in ("OneR", "REPTree")
+    ]
+    text = stability_table(records)
+    assert text.index("REPTree") < text.index("OneR")  # stronger first
+    assert "±" in text
+
+
+def test_deterministic(small_corpus):
+    a = cross_validated_record(
+        small_corpus, DetectorConfig("OneR", "general", 2), n_folds=3, seed=2
+    )
+    b = cross_validated_record(
+        small_corpus, DetectorConfig("OneR", "general", 2), n_folds=3, seed=2
+    )
+    assert a == b

@@ -1,0 +1,81 @@
+"""Matrix runner, records, and JSON caching."""
+
+import pytest
+
+from repro.analysis.matrix import MatrixRunner, load_records, paper_grid, save_records, table3_grid
+from repro.analysis.records import EvalRecord, HardwareRecord, RocRecord
+from repro.core.config import DetectorConfig
+
+
+@pytest.fixture(scope="module")
+def runner(small_corpus):
+    return MatrixRunner(small_corpus, seeds=(7,))
+
+
+def test_paper_grid_size():
+    assert len(paper_grid()) == 8 * 4 * 3
+
+
+def test_table3_grid_size():
+    assert len(table3_grid()) == 8 * 3
+
+
+def test_runner_requires_seeds(small_corpus):
+    with pytest.raises(ValueError):
+        MatrixRunner(small_corpus, seeds=())
+
+
+def test_evaluate_returns_record(runner):
+    record = runner.evaluate(DetectorConfig("OneR", "general", 2))
+    assert isinstance(record, EvalRecord)
+    assert 0.0 <= record.accuracy <= 1.0
+    assert 0.0 <= record.auc <= 1.0
+    assert record.performance == pytest.approx(record.accuracy * record.auc)
+
+
+def test_evaluate_multi_seed_averages(small_corpus):
+    runner = MatrixRunner(small_corpus, seeds=(1, 2))
+    record = runner.evaluate(DetectorConfig("OneR", "general", 2))
+    assert record.n_seeds == 2
+
+
+def test_evaluate_grid(runner):
+    configs = [DetectorConfig("OneR", "general", k) for k in (4, 2)]
+    records = runner.evaluate_grid(configs)
+    assert len(records) == 2
+    assert {r.n_hpcs for r in records} == {4, 2}
+
+
+def test_roc_record(runner):
+    record = runner.roc(DetectorConfig("REPTree", "general", 4))
+    assert isinstance(record, RocRecord)
+    assert record.fpr[0] == 0.0 and record.fpr[-1] == 1.0
+    assert record.tpr[0] == 0.0 and record.tpr[-1] == 1.0
+    assert 0.0 <= record.auc <= 1.0
+
+
+def test_hardware_record(runner):
+    record = runner.hardware(DetectorConfig("OneR", "general", 2))
+    assert isinstance(record, HardwareRecord)
+    assert record.latency_cycles == 1
+    assert record.latency_ns == 10.0
+    assert record.area_percent > 0
+
+
+def test_record_names():
+    r = EvalRecord("SMO", "boosted", 2, 0.7, 0.8)
+    assert r.name == "2HPC-Boosted-SMO"
+    r = EvalRecord("SMO", "general", 8, 0.7, 0.8)
+    assert r.name == "8HPC-SMO"
+
+
+def test_save_load_round_trip(tmp_path, runner):
+    records = [
+        runner.evaluate(DetectorConfig("OneR", "general", 2)),
+        runner.hardware(DetectorConfig("OneR", "general", 2)),
+        runner.roc(DetectorConfig("OneR", "general", 2)),
+    ]
+    path = tmp_path / "records.json"
+    save_records(path, records)
+    loaded = load_records(path)
+    assert loaded == records

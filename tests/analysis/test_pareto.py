@@ -1,0 +1,88 @@
+"""Pareto analysis over the performance/latency/area design space."""
+
+import pytest
+
+from repro.analysis.pareto import (
+    DesignPoint,
+    join_records,
+    pareto_front,
+    pareto_table,
+    recommend_counters,
+)
+from repro.analysis.records import EvalRecord, HardwareRecord
+from repro.features.correlation import FeatureRanking
+
+
+def _point(name, perf, cycles, area):
+    return DesignPoint(
+        name=name, classifier=name, ensemble="general", n_hpcs=4,
+        performance=perf, latency_cycles=cycles, area_percent=area,
+    )
+
+
+def test_dominates_strictly_better():
+    assert _point("a", 0.9, 10, 5.0).dominates(_point("b", 0.8, 20, 6.0))
+
+
+def test_no_domination_on_tradeoff():
+    fast_weak = _point("a", 0.7, 1, 2.0)
+    slow_strong = _point("b", 0.9, 100, 50.0)
+    assert not fast_weak.dominates(slow_strong)
+    assert not slow_strong.dominates(fast_weak)
+
+
+def test_equal_points_do_not_dominate():
+    a = _point("a", 0.8, 10, 5.0)
+    b = _point("b", 0.8, 10, 5.0)
+    assert not a.dominates(b)
+
+
+def test_pareto_front_drops_dominated():
+    points = [
+        _point("best", 0.9, 5, 3.0),
+        _point("dominated", 0.8, 10, 4.0),
+        _point("cheap", 0.6, 1, 1.0),
+    ]
+    front = pareto_front(points)
+    names = [p.name for p in front]
+    assert "dominated" not in names
+    assert "best" in names and "cheap" in names
+
+
+def test_pareto_front_sorted_by_performance():
+    points = [_point("a", 0.6, 1, 1.0), _point("b", 0.9, 100, 50.0)]
+    front = pareto_front(points)
+    assert front[0].performance >= front[-1].performance
+
+
+def test_join_records_matches_keys():
+    evals = [EvalRecord("J48", "general", 4, 0.8, 0.9),
+             EvalRecord("SMO", "boosted", 2, 0.7, 0.8)]
+    hardware = [HardwareRecord("J48", "general", 4, 20, 3.0, 1, 1, 0, 0)]
+    points = join_records(evals, hardware)
+    assert len(points) == 1
+    assert points[0].classifier == "J48"
+    assert points[0].performance == pytest.approx(0.8 * 0.9)
+
+
+def test_pareto_table_marks_front():
+    points = [_point("best", 0.9, 5, 3.0), _point("dominated", 0.8, 10, 4.0)]
+    text = pareto_table(points)
+    lines = {line.split()[0]: line for line in text.splitlines()[2:]}
+    assert lines["best"].rstrip().endswith("*")
+    assert not lines["dominated"].rstrip().endswith("*")
+
+
+def test_recommend_counters_prefix():
+    ranking = FeatureRanking(
+        names=("branch_instructions", "iTLB_load_misses", "cache_misses"),
+        scores=(0.9, 0.8, 0.7),
+        method="correlation",
+    )
+    assert recommend_counters(ranking, 2) == ("branch_instructions", "iTLB_load_misses")
+
+
+def test_recommend_counters_validates_budget():
+    ranking = FeatureRanking(names=("a",), scores=(1.0,), method="correlation")
+    with pytest.raises(ValueError):
+        recommend_counters(ranking, 5)

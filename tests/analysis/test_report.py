@@ -1,0 +1,102 @@
+"""Table/figure renderers."""
+
+import pytest
+
+from repro.analysis.records import EvalRecord, HardwareRecord, RocRecord
+from repro.analysis.report import (
+    figure3_table,
+    figure4_report,
+    figure5_table,
+    improvement_summary,
+    roc_ascii,
+    table1_table,
+    table2_table,
+    table3_table,
+)
+from repro.core.config import CLASSIFIER_NAMES
+from repro.features.correlation import FeatureRanking
+
+
+@pytest.fixture(scope="module")
+def records():
+    out = []
+    for i, classifier in enumerate(CLASSIFIER_NAMES):
+        for n_hpcs in (16, 8, 4, 2):
+            for ensemble in ("general", "boosted", "bagging"):
+                out.append(
+                    EvalRecord(classifier, ensemble, n_hpcs,
+                               accuracy=0.70 + 0.01 * i, auc=0.80)
+                )
+    return out
+
+
+def test_figure3_lists_all_classifiers(records):
+    text = figure3_table(records)
+    for name in CLASSIFIER_NAMES:
+        assert name in text
+
+
+def test_figure3_shows_percentages(records):
+    assert "71.0" in figure3_table(records)
+
+
+def test_table2_shows_auc(records):
+    text = table2_table(records)
+    assert "0.80" in text
+    assert "Table 2" in text
+
+
+def test_figure5_shows_products(records):
+    text = figure5_table(records)
+    assert "Figure 5" in text
+    # 0.70 * 0.80 = 56.0%
+    assert "56.0" in text
+
+
+def test_missing_cells_render_as_dash():
+    text = figure3_table([EvalRecord("J48", "general", 16, 0.8, 0.9)])
+    assert "-" in text
+
+
+def test_improvement_summary_relative_deltas(records):
+    text = improvement_summary(records)
+    assert "8HPC-general" in text
+    assert "%" in text
+
+
+def test_table1_lists_ranked_events():
+    ranking = FeatureRanking(
+        names=("branch_instructions", "cache_misses", "cpu_cycles"),
+        scores=(0.9, 0.5, 0.1),
+        method="correlation",
+    )
+    text = table1_table(ranking, k=2)
+    assert "1. branch_instructions" in text
+    assert "cpu_cycles" not in text
+
+
+def test_table3_renders_costs():
+    records = [
+        HardwareRecord("MLP", "general", 8, 300, 61.1, 1000, 1000, 10, 2),
+        HardwareRecord("MLP", "boosted", 4, 591, 61.7, 1000, 1000, 10, 2),
+    ]
+    text = table3_table(records)
+    assert "300" in text
+    assert "61.1" in text
+    assert "MLP" in text
+
+
+def test_roc_ascii_draws_curve():
+    record = RocRecord("J48", "general", 4,
+                       fpr=(0.0, 0.2, 1.0), tpr=(0.0, 0.9, 1.0), auc=0.93)
+    art = roc_ascii(record)
+    assert "AUC=0.930" in art
+    assert "*" in art
+
+
+def test_figure4_report_joins_curves():
+    a = RocRecord("J48", "general", 4, (0.0, 1.0), (0.0, 1.0), 0.5)
+    b = RocRecord("JRip", "bagging", 4, (0.0, 1.0), (0.0, 1.0), 0.5)
+    text = figure4_report([a, b])
+    assert "4HPC-J48" in text
+    assert "4HPC-Bagging-JRip" in text

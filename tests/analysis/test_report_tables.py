@@ -1,0 +1,60 @@
+"""Report rendering against real (small) evaluation records."""
+
+import pytest
+
+from repro.analysis.matrix import MatrixRunner
+from repro.analysis.report import (
+    figure3_table,
+    figure5_table,
+    improvement_summary,
+    table2_table,
+    table3_table,
+)
+from repro.core.config import DetectorConfig
+
+
+@pytest.fixture(scope="module")
+def records(small_corpus):
+    runner = MatrixRunner(small_corpus, seeds=(7,))
+    configs = [
+        DetectorConfig("OneR", "general", 4),
+        DetectorConfig("OneR", "boosted", 2, n_estimators=3),
+        DetectorConfig("REPTree", "general", 8),
+    ]
+    return runner.evaluate_grid(configs)
+
+
+def test_figure3_values_are_percentages(records):
+    text = figure3_table(records)
+    for record in records:
+        assert f"{100 * record.accuracy:.1f}" in text
+
+
+def test_table2_values_are_auc(records):
+    text = table2_table(records)
+    for record in records:
+        assert f"{record.auc:.2f}" in text
+
+
+def test_figure5_values_are_products(records):
+    text = figure5_table(records)
+    for record in records:
+        assert f"{100 * record.performance:.1f}" in text
+
+
+def test_improvement_summary_needs_8hpc_base(records):
+    text = improvement_summary(records)
+    # only REPTree has an 8HPC general record to compare against
+    assert "REPTree" in text
+    assert "OneR" not in text.replace("8HPC-general", "")
+
+
+def test_table3_with_real_hardware_records(small_corpus):
+    runner = MatrixRunner(small_corpus, seeds=(7,))
+    records = [
+        runner.hardware(DetectorConfig("OneR", "general", 8)),
+        runner.hardware(DetectorConfig("OneR", "boosted", 4, n_estimators=3)),
+    ]
+    text = table3_table(records)
+    assert "OneR" in text
+    assert str(records[0].latency_cycles) in text

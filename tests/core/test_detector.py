@@ -1,0 +1,82 @@
+"""End-to-end detector pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import HMDDetector
+
+
+@pytest.fixture(scope="module")
+def fitted(small_split):
+    detector = HMDDetector(DetectorConfig("REPTree", "general", 4))
+    return detector.fit(small_split.train)
+
+
+def test_detector_name(fitted):
+    assert fitted.name == "4HPC-REPTree"
+
+
+def test_monitored_events_match_budget(fitted):
+    assert len(fitted.monitored_events) == 4
+
+
+def test_monitored_events_before_fit_raises():
+    detector = HMDDetector(DetectorConfig("J48", "general", 4))
+    with pytest.raises(RuntimeError):
+        detector.monitored_events
+
+
+def test_predict_shape(fitted, small_split):
+    predictions = fitted.predict(small_split.test)
+    assert predictions.shape == (small_split.test.n_samples,)
+    assert set(np.unique(predictions)) <= {0, 1}
+
+
+def test_decision_scores_in_unit_interval(fitted, small_split):
+    scores = fitted.decision_scores(small_split.test)
+    assert np.all(scores >= 0) and np.all(scores <= 1)
+
+
+def test_evaluate_beats_chance(fitted, small_split):
+    result = fitted.evaluate(small_split.test)
+    assert result.accuracy > 0.6
+    assert result.auc > 0.6
+    assert result.performance == pytest.approx(result.accuracy * result.auc)
+
+
+def test_predict_before_fit_raises(small_split):
+    detector = HMDDetector(DetectorConfig("J48", "general", 4))
+    with pytest.raises(RuntimeError):
+        detector.predict(small_split.test)
+
+
+def test_predict_windows_single_row(fitted, small_split):
+    reduced = fitted.reducer.transform(small_split.test)
+    flag = fitted.predict_windows(reduced.features[0])
+    assert flag.shape == (1,)
+
+
+def test_predict_windows_wrong_width(fitted):
+    with pytest.raises(ValueError):
+        fitted.predict_windows(np.zeros((3, 7)))
+
+
+def test_ranking_dataset_override(small_split, small_corpus):
+    """The matrix shares one ranking across detectors, like Table 1."""
+    detector = HMDDetector(DetectorConfig("OneR", "general", 2))
+    detector.fit(small_split.train, ranking_dataset=small_split.train)
+    assert len(detector.monitored_events) == 2
+
+
+def test_ensemble_detector_pipeline(small_split):
+    detector = HMDDetector(DetectorConfig("OneR", "boosted", 2, n_estimators=5))
+    detector.fit(small_split.train)
+    result = detector.evaluate(small_split.test)
+    assert 0.0 <= result.accuracy <= 1.0
+
+
+def test_detectors_use_ranking_prefix(small_split):
+    d2 = HMDDetector(DetectorConfig("J48", "general", 2)).fit(small_split.train)
+    d4 = HMDDetector(DetectorConfig("J48", "general", 4)).fit(small_split.train)
+    assert d4.monitored_events[:2] == d2.monitored_events

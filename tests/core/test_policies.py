@@ -1,0 +1,129 @@
+"""Alarm policies over window-flag sequences."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    ConsecutiveWindows,
+    EwmaAlarm,
+    MajorityVote,
+    PolicyDecision,
+)
+
+ALL_POLICIES = [MajorityVote(), ConsecutiveWindows(), EwmaAlarm()]
+
+
+def test_majority_fires_on_dense_flags():
+    decision = MajorityVote(threshold=0.5).decide(np.array([1, 1, 0, 1, 1]))
+    assert decision.is_malware
+    assert decision.latency_windows == 0
+
+
+def test_majority_stays_quiet_on_sparse_flags():
+    decision = MajorityVote(threshold=0.5).decide(np.array([0, 0, 1, 0, 0, 0]))
+    assert not decision.is_malware
+    assert decision.latency_windows is None
+
+
+def test_majority_min_windows_delays_alarm():
+    flags = np.array([1, 1, 1, 1])
+    eager = MajorityVote(threshold=0.5, min_windows=1).decide(flags)
+    patient = MajorityVote(threshold=0.5, min_windows=3).decide(flags)
+    assert eager.latency_windows == 0
+    assert patient.latency_windows == 2
+
+
+def test_majority_empty_flags():
+    decision = MajorityVote().decide(np.array([], dtype=int))
+    assert not decision.is_malware
+
+
+def test_majority_validates_threshold():
+    with pytest.raises(ValueError):
+        MajorityVote(threshold=0.0)
+
+
+def test_consecutive_requires_run():
+    policy = ConsecutiveWindows(k=3)
+    assert not policy.decide(np.array([1, 1, 0, 1, 1, 0])).is_malware
+    decision = policy.decide(np.array([0, 1, 1, 1, 0]))
+    assert decision.is_malware
+    assert decision.latency_windows == 3
+
+
+def test_consecutive_k_one_is_any_flag():
+    decision = ConsecutiveWindows(k=1).decide(np.array([0, 0, 1]))
+    assert decision.is_malware
+    assert decision.latency_windows == 2
+
+
+def test_consecutive_validates_k():
+    with pytest.raises(ValueError):
+        ConsecutiveWindows(k=0)
+
+
+def test_ewma_ignores_isolated_flag():
+    policy = EwmaAlarm(alpha=0.2, threshold=0.6)
+    assert not policy.decide(np.array([0, 1, 0, 0, 0, 0, 0, 0])).is_malware
+
+
+def test_ewma_fires_on_sustained_activity():
+    policy = EwmaAlarm(alpha=0.3, threshold=0.6)
+    decision = policy.decide(np.array([0] * 5 + [1] * 10))
+    assert decision.is_malware
+    assert decision.latency_windows is not None
+    assert decision.latency_windows >= 5
+
+
+def test_ewma_catches_waking_backdoor_faster_than_majority():
+    """Dormant-then-active pattern: EWMA reacts to the recent burst,
+    cumulative majority is dragged down by the long dormant prefix."""
+    flags = np.array([0] * 40 + [1] * 12)
+    ewma = EwmaAlarm(alpha=0.3, threshold=0.6).decide(flags)
+    majority = MajorityVote(threshold=0.5).decide(flags)
+    assert ewma.is_malware
+    assert not majority.is_malware
+
+
+def test_ewma_validates_params():
+    with pytest.raises(ValueError):
+        EwmaAlarm(alpha=0.0)
+    with pytest.raises(ValueError):
+        EwmaAlarm(threshold=1.0)
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: type(p).__name__)
+def test_policies_reject_non_binary_flags(policy):
+    with pytest.raises(ValueError):
+        policy.decide(np.array([0, 2, 1]))
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: type(p).__name__)
+def test_all_zero_flags_never_alarm(policy):
+    decision = policy.decide(np.zeros(50, dtype=int))
+    assert not decision.is_malware
+    assert decision.latency_windows is None
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES, ids=lambda p: type(p).__name__)
+def test_all_one_flags_always_alarm(policy):
+    decision = policy.decide(np.ones(50, dtype=int))
+    assert decision.is_malware
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(0, 1), min_size=1, max_size=60))
+def test_latency_points_at_valid_window(flags):
+    """Property: any reported latency indexes a real window, and the
+    window at (or before) it is consistent with the alarm."""
+    flags = np.array(flags)
+    for policy in (MajorityVote(0.5), ConsecutiveWindows(2), EwmaAlarm(0.3, 0.6)):
+        decision = policy.decide(flags)
+        assert isinstance(decision, PolicyDecision)
+        if decision.is_malware:
+            assert decision.latency_windows is not None
+            assert 0 <= decision.latency_windows < len(flags)
+        else:
+            assert decision.latency_windows is None

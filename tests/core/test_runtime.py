@@ -1,0 +1,92 @@
+"""Run-time streaming monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import HMDDetector
+from repro.core.runtime import DetectionVerdict, RuntimeMonitor
+from repro.hpc.counters import CounterCapacityError
+from repro.hpc.lxc import ContainerPool
+from repro.workloads.benign import BENIGN_FAMILIES
+from repro.workloads.malware import MALWARE_FAMILIES
+
+
+@pytest.fixture(scope="module")
+def detector4(small_split):
+    return HMDDetector(DetectorConfig("REPTree", "general", 4)).fit(small_split.train)
+
+
+def test_monitor_rejects_unfitted():
+    with pytest.raises(RuntimeError):
+        RuntimeMonitor(HMDDetector(DetectorConfig("J48", "general", 4)))
+
+
+def test_monitor_rejects_over_budget_detector(small_split):
+    """The paper's core constraint: 16 events will not fit 4 registers."""
+    wide = HMDDetector(DetectorConfig("J48", "general", 16)).fit(small_split.train)
+    with pytest.raises(CounterCapacityError):
+        RuntimeMonitor(wide, n_counters=4)
+
+
+def test_monitor_accepts_exact_fit(detector4):
+    RuntimeMonitor(detector4, n_counters=4)  # must not raise
+
+
+def test_monitor_rejects_bad_threshold(detector4):
+    with pytest.raises(ValueError):
+        RuntimeMonitor(detector4, vote_threshold=0.0)
+
+
+def test_monitor_produces_verdict(detector4):
+    monitor = RuntimeMonitor(detector4, n_counters=4)
+    app = BENIGN_FAMILIES[0].instantiate(np.random.default_rng(0))[0]
+    verdict = monitor.monitor(app, 20, ContainerPool(seed=1), is_malware=False)
+    assert isinstance(verdict, DetectionVerdict)
+    assert verdict.n_windows == 20
+    assert 0.0 <= verdict.malware_fraction <= 1.0
+
+
+def test_monitor_flags_obvious_malware(detector4):
+    """A fresh flooder instance should trip the detector."""
+    monitor = RuntimeMonitor(detector4, n_counters=4)
+    flooder_family = next(f for f in MALWARE_FAMILIES if f.name == "dos_flooder")
+    hits = 0
+    rng = np.random.default_rng(7)
+    for trial in range(5):
+        app = flooder_family.instantiate(rng)[0]
+        verdict = monitor.monitor(app, 30, ContainerPool(seed=trial), is_malware=True)
+        hits += verdict.is_malware
+    assert hits >= 3
+
+
+def test_monitor_passes_calm_benign(detector4):
+    monitor = RuntimeMonitor(detector4, n_counters=4)
+    telecomm = next(f for f in BENIGN_FAMILIES if f.name == "mibench_telecomm")
+    passes = 0
+    rng = np.random.default_rng(8)
+    for trial in range(5):
+        app = telecomm.instantiate(rng)[0]
+        verdict = monitor.monitor(app, 30, ContainerPool(seed=100 + trial), is_malware=False)
+        passes += not verdict.is_malware
+    assert passes >= 3
+
+
+def test_detection_latency_reported(detector4):
+    monitor = RuntimeMonitor(detector4, n_counters=4, vote_threshold=0.3)
+    flooder = next(f for f in MALWARE_FAMILIES if f.name == "dos_flooder")
+    app = flooder.instantiate(np.random.default_rng(9))[0]
+    verdict = monitor.monitor(app, 30, ContainerPool(seed=11), is_malware=True)
+    latency = monitor.detection_latency_windows(verdict)
+    if verdict.window_flags.any():
+        assert latency is not None
+        assert 0 <= latency < 30
+
+
+def test_detection_latency_none_when_never_flagged(detector4):
+    monitor = RuntimeMonitor(detector4, n_counters=4)
+    verdict = DetectionVerdict(
+        app_name="x", window_flags=np.zeros(10, dtype=int),
+        malware_fraction=0.0, is_malware=False,
+    )
+    assert monitor.detection_latency_windows(verdict) is None

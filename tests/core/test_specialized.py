@@ -1,0 +1,95 @@
+"""Specialized per-family ensemble (Khasawneh-style baseline)."""
+
+import numpy as np
+import pytest
+
+from repro.core.specialized import SpecializedEnsembleDetector
+from repro.ml.reptree import REPTree
+from repro.workloads.dataset import MALWARE
+
+
+@pytest.fixture(scope="module")
+def fitted(small_split):
+    return SpecializedEnsembleDetector(n_hpcs=4).fit(small_split.train)
+
+
+def test_one_specialist_per_malware_family(fitted, small_split):
+    train = small_split.train
+    malware_families = {
+        train.app_families[a]
+        for a in np.unique(train.app_ids)
+        if train.app_label(int(a)) == MALWARE
+    }
+    assert set(fitted.specialists_) == malware_families
+    assert fitted.n_specialists == len(malware_families)
+
+
+def test_detects_malware_above_chance(fitted, small_split):
+    result = fitted.evaluate(small_split.test)
+    assert result.accuracy > 0.6
+    assert result.auc > 0.6
+
+
+def test_per_family_scores_shape(fitted, small_split):
+    scores = fitted.per_family_scores(small_split.test)
+    for family_scores in scores.values():
+        assert family_scores.shape == (small_split.test.n_samples,)
+
+
+def test_specialists_fire_on_their_own_family(fitted, small_split):
+    """Each specialist should score its own family's windows above
+    benign windows."""
+    test = small_split.test
+    app_family = np.array([test.app_families[a] for a in test.app_ids])
+    benign_rows = test.labels == 0
+    scores = fitted.per_family_scores(test)
+    wins = 0
+    checked = 0
+    for family, family_scores in scores.items():
+        own = family_scores[app_family == family]
+        if own.size == 0:
+            continue  # family absent from this test split
+        checked += 1
+        wins += own.mean() > family_scores[benign_rows].mean()
+    assert checked > 0
+    assert wins >= checked * 0.7
+
+
+def test_fusion_modes_differ(small_split):
+    max_fused = SpecializedEnsembleDetector(n_hpcs=4, fusion="max").fit(
+        small_split.train
+    )
+    mean_fused = SpecializedEnsembleDetector(n_hpcs=4, fusion="mean").fit(
+        small_split.train
+    )
+    a = max_fused.decision_scores(small_split.test)
+    b = mean_fused.decision_scores(small_split.test)
+    assert np.all(a >= b - 1e-12)  # max dominates mean pointwise
+
+
+def test_custom_base_classifier(small_split):
+    detector = SpecializedEnsembleDetector(base=REPTree(), n_hpcs=4)
+    detector.fit(small_split.train)
+    assert detector.evaluate(small_split.test).accuracy > 0.55
+
+
+def test_rejects_unknown_fusion():
+    with pytest.raises(ValueError):
+        SpecializedEnsembleDetector(fusion="median")
+
+
+def test_unfitted_raises(small_split):
+    detector = SpecializedEnsembleDetector()
+    with pytest.raises(RuntimeError):
+        detector.decision_scores(small_split.test)
+
+
+def test_rejects_benign_only_training(small_split):
+    benign_apps = [
+        int(a)
+        for a in np.unique(small_split.train.app_ids)
+        if small_split.train.app_label(int(a)) == 0
+    ]
+    benign_only = small_split.train.select_apps(benign_apps)
+    with pytest.raises(ValueError):
+        SpecializedEnsembleDetector().fit(benign_only)

@@ -1,0 +1,148 @@
+"""Correlation attribute evaluation and feature ranking."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.correlation import (
+    information_gain,
+    pearson_correlation,
+    rank_features,
+)
+from repro.features.reduction import FeatureReducer
+from repro.workloads.dataset import Dataset
+
+
+def _dataset(features, labels, names=None):
+    n_apps = 2
+    app_ids = (labels >= 0).astype(np.intp) * 0  # all app 0? need per label
+    # map each sample to an app of its own class so app_label is consistent
+    app_ids = labels.astype(np.intp)
+    return Dataset(
+        features=features,
+        labels=labels.astype(np.intp),
+        feature_names=tuple(names or (f"f{i}" for i in range(features.shape[1]))),
+        app_ids=app_ids,
+        app_names=("benign_app", "malware_app"),
+        app_families=("b", "m"),
+    )
+
+
+def test_pearson_perfect_correlation():
+    values = np.array([0.0, 0.0, 1.0, 1.0])
+    labels = np.array([0, 0, 1, 1])
+    assert pearson_correlation(values, labels) == pytest.approx(1.0)
+
+
+def test_pearson_anticorrelation():
+    values = np.array([1.0, 1.0, 0.0, 0.0])
+    labels = np.array([0, 0, 1, 1])
+    assert pearson_correlation(values, labels) == pytest.approx(-1.0)
+
+
+def test_pearson_constant_feature_is_zero():
+    assert pearson_correlation(np.ones(10), np.array([0, 1] * 5)) == 0.0
+
+
+def test_information_gain_separable_positive():
+    values = np.concatenate([np.zeros(50), np.ones(50)])
+    labels = np.array([0] * 50 + [1] * 50)
+    assert information_gain(values, labels) == pytest.approx(1.0, abs=0.05)
+
+
+def test_information_gain_noise_is_zero():
+    rng = np.random.default_rng(0)
+    assert information_gain(rng.normal(size=100), rng.integers(0, 2, 100)) == 0.0
+
+
+def test_rank_features_orders_by_score():
+    rng = np.random.default_rng(1)
+    labels = np.array([0] * 100 + [1] * 100)
+    strong = labels + rng.normal(0, 0.1, 200)
+    weak = labels + rng.normal(0, 2.0, 200)
+    noise = rng.normal(size=200)
+    ds = _dataset(np.column_stack([noise, weak, strong]), labels,
+                  names=("noise", "weak", "strong"))
+    ranking = rank_features(ds)
+    assert ranking.names[0] == "strong"
+    assert ranking.names[-1] == "noise"
+    assert list(ranking.scores) == sorted(ranking.scores, reverse=True)
+
+
+def test_rank_features_information_gain_method():
+    rng = np.random.default_rng(2)
+    labels = np.array([0] * 100 + [1] * 100)
+    strong = labels * 3.0 + rng.normal(0, 0.1, 200)
+    noise = rng.normal(size=200)
+    ds = _dataset(np.column_stack([noise, strong]), labels, names=("noise", "strong"))
+    ranking = rank_features(ds, method="information_gain")
+    assert ranking.names[0] == "strong"
+    assert ranking.method == "information_gain"
+
+
+def test_rank_features_unknown_method():
+    ds = _dataset(np.zeros((4, 2)), np.array([0, 0, 1, 1]))
+    with pytest.raises(ValueError):
+        rank_features(ds, method="chi2")
+
+
+def test_ranking_top_k_validation():
+    ds = _dataset(np.random.default_rng(0).normal(size=(10, 3)),
+                  np.array([0] * 5 + [1] * 5))
+    ranking = rank_features(ds)
+    with pytest.raises(ValueError):
+        ranking.top(0)
+    with pytest.raises(ValueError):
+        ranking.top(4)
+    assert len(ranking.top(2)) == 2
+
+
+def test_ranking_score_of():
+    ds = _dataset(np.random.default_rng(0).normal(size=(10, 2)),
+                  np.array([0] * 5 + [1] * 5), names=("a", "b"))
+    ranking = rank_features(ds)
+    assert ranking.score_of("a") >= 0
+    with pytest.raises(KeyError):
+        ranking.score_of("zzz")
+
+
+def test_ranking_str_lists_all():
+    ds = _dataset(np.random.default_rng(0).normal(size=(10, 2)),
+                  np.array([0] * 5 + [1] * 5), names=("a", "b"))
+    text = str(rank_features(ds))
+    assert "a" in text and "b" in text
+
+
+def test_reducer_fit_transform_selects_top(small_corpus):
+    reducer = FeatureReducer(n_features=4)
+    reduced = reducer.fit_transform(small_corpus)
+    assert reduced.n_features == 4
+    assert reduced.feature_names == reducer.selected
+
+
+def test_reducer_transform_before_fit_raises(small_corpus):
+    with pytest.raises(RuntimeError):
+        FeatureReducer(n_features=4).transform(small_corpus)
+
+
+def test_reducer_too_many_features_requested(small_corpus):
+    reducer = FeatureReducer(n_features=small_corpus.n_features + 1)
+    with pytest.raises(ValueError):
+        reducer.fit(small_corpus)
+
+
+def test_reducer_budgets_are_prefixes(small_corpus):
+    """The paper's 8/4/2-HPC sets are prefixes of the 16-HPC ranking."""
+    r16 = FeatureReducer(n_features=16).fit(small_corpus)
+    r4 = FeatureReducer(n_features=4).fit(small_corpus)
+    assert r16.selected[:4] == r4.selected
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 5000))
+def test_pearson_bounded(seed):
+    rng = np.random.default_rng(seed)
+    values = rng.normal(size=30)
+    labels = rng.integers(0, 2, 30)
+    assert -1.0 <= pearson_correlation(values, labels) <= 1.0

@@ -1,0 +1,107 @@
+"""Dataflow graph construction and list scheduling."""
+
+import pytest
+
+from repro.hardware.graph import DataflowGraph, FabricConfig
+from repro.hardware.resources import OPERATOR_SPECS, OpType
+
+
+def test_add_returns_sequential_indices():
+    graph = DataflowGraph()
+    assert graph.add(OpType.MUL) == 0
+    assert graph.add(OpType.ADD, (0,)) == 1
+
+
+def test_add_rejects_forward_dependency():
+    graph = DataflowGraph()
+    with pytest.raises(ValueError):
+        graph.add(OpType.ADD, (5,))
+
+
+def test_reduce_tree_single_input_is_identity():
+    graph = DataflowGraph()
+    node = graph.add(OpType.MUL)
+    assert graph.reduce_tree(OpType.ADD, [node]) == node
+
+
+def test_reduce_tree_adds_n_minus_one_ops():
+    graph = DataflowGraph()
+    inputs = [graph.add(OpType.MUL) for _ in range(8)]
+    graph.reduce_tree(OpType.ADD, inputs)
+    adds = sum(1 for node in graph.nodes if node.op is OpType.ADD)
+    assert adds == 7
+
+
+def test_reduce_tree_rejects_empty():
+    with pytest.raises(ValueError):
+        DataflowGraph().reduce_tree(OpType.ADD, [])
+
+
+def test_critical_path_chain():
+    graph = DataflowGraph()
+    a = graph.add(OpType.MUL)          # 4 cycles
+    b = graph.add(OpType.ADD, (a,))    # +1
+    graph.add(OpType.ADD, (b,))        # +1
+    assert graph.critical_path() == 6
+
+
+def test_critical_path_parallel_ops_overlap():
+    graph = DataflowGraph()
+    for _ in range(10):
+        graph.add(OpType.MUL)
+    assert graph.critical_path() == OPERATOR_SPECS[OpType.MUL].latency
+
+
+def test_empty_graph_schedules_to_zero():
+    assert DataflowGraph().list_schedule(FabricConfig()) == 0
+
+
+def test_schedule_at_least_critical_path():
+    graph = DataflowGraph()
+    products = [graph.add(OpType.MUL) for _ in range(6)]
+    graph.reduce_tree(OpType.ADD, products)
+    fabric = FabricConfig(multipliers=16, adders=16)
+    assert graph.list_schedule(fabric) >= graph.critical_path()
+
+
+def test_fewer_units_means_longer_schedule():
+    def build():
+        graph = DataflowGraph()
+        products = [graph.add(OpType.MUL) for _ in range(12)]
+        graph.reduce_tree(OpType.ADD, products)
+        return graph
+
+    wide = build().list_schedule(FabricConfig(multipliers=12))
+    narrow = build().list_schedule(FabricConfig(multipliers=1))
+    assert narrow > wide
+
+
+def test_serial_multiplier_throughput():
+    """12 multiplies on one pipelined (II=1) unit: one issue per cycle,
+    so the last result lands at cycle 11 + mul latency."""
+    graph = DataflowGraph()
+    for _ in range(12):
+        graph.add(OpType.MUL)
+    latency = graph.list_schedule(FabricConfig(multipliers=1))
+    assert latency == 11 + OPERATOR_SPECS[OpType.MUL].latency
+
+
+def test_capacity_mapping_by_op_class():
+    fabric = FabricConfig(multipliers=3, adders=5, lookups=7, comparators=9,
+                          float_multipliers=2, float_adders=4, float_sigmoids=1)
+    assert fabric.capacity(OpType.MUL) == 3
+    assert fabric.capacity(OpType.ADD) == 5
+    assert fabric.capacity(OpType.TABLE_LOOKUP) == 7
+    assert fabric.capacity(OpType.CMP) == 9
+    assert fabric.capacity(OpType.FMUL) == 2
+    assert fabric.capacity(OpType.FADD) == 4
+    assert fabric.capacity(OpType.FSIGMOID) == 1
+
+
+def test_dependencies_respected():
+    """A dependent op cannot finish before its producer."""
+    graph = DataflowGraph()
+    a = graph.add(OpType.MUL)
+    graph.add(OpType.ADD, (a,))
+    latency = graph.list_schedule(FabricConfig())
+    assert latency >= OPERATOR_SPECS[OpType.MUL].latency + OPERATOR_SPECS[OpType.ADD].latency

@@ -1,0 +1,74 @@
+"""Resource library arithmetic."""
+
+import pytest
+
+from repro.hardware.resources import (
+    DSP_LUT_EQUIVALENT,
+    LUTRAM_BITS_PER_LUT,
+    OPENSPARC_LUT_EQUIVALENT,
+    OPERATOR_SPECS,
+    OpType,
+    ResourceUsage,
+    op_usage,
+)
+
+
+def test_all_ops_have_specs():
+    assert set(OPERATOR_SPECS) == set(OpType)
+
+
+def test_specs_non_negative():
+    for spec in OPERATOR_SPECS.values():
+        assert spec.latency >= 0
+        assert spec.luts >= 0
+        assert spec.dsps >= 0
+
+
+def test_float_ops_cost_more_than_fixed():
+    assert OPERATOR_SPECS[OpType.FMUL].luts > OPERATOR_SPECS[OpType.MUL].luts
+    assert OPERATOR_SPECS[OpType.FADD].latency > OPERATOR_SPECS[OpType.ADD].latency
+
+
+def test_usage_addition():
+    a = ResourceUsage(luts=10, ffs=5, dsps=1)
+    b = ResourceUsage(luts=3, brams=2, storage_bits=64)
+    total = a + b
+    assert total.luts == 13
+    assert total.ffs == 5
+    assert total.dsps == 1
+    assert total.brams == 2
+    assert total.storage_bits == 64
+
+
+def test_usage_scaled():
+    usage = ResourceUsage(luts=10, ffs=10, dsps=2, brams=2, storage_bits=100)
+    half = usage.scaled(0.5)
+    assert half.luts == 5
+    assert half.dsps == 1
+    assert half.storage_bits == 50
+
+
+def test_lut_equivalent_converts_dsp_and_storage():
+    usage = ResourceUsage(luts=100, dsps=1, storage_bits=LUTRAM_BITS_PER_LUT * 3)
+    assert usage.lut_equivalent == 100 + DSP_LUT_EQUIVALENT + 3
+
+
+def test_lut_equivalent_rounds_storage_up():
+    usage = ResourceUsage(storage_bits=1)
+    assert usage.lut_equivalent == 1
+
+
+def test_area_percent_reference():
+    usage = ResourceUsage(luts=OPENSPARC_LUT_EQUIVALENT)
+    assert usage.area_percent == pytest.approx(100.0)
+
+
+def test_op_usage_scales_with_count():
+    one = op_usage(OpType.CMP, 1)
+    five = op_usage(OpType.CMP, 5)
+    assert five.luts == 5 * one.luts
+
+
+def test_op_usage_rejects_negative_count():
+    with pytest.raises(ValueError):
+        op_usage(OpType.ADD, -1)

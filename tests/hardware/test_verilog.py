@@ -1,0 +1,178 @@
+"""Verilog code generation."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.verilog import CodegenError, generate
+from repro.ml import MLP, SGD, SMO, BayesNet, J48, JRip, OneR, REPTree
+
+
+@pytest.fixture(scope="module")
+def data(blobs):
+    features, labels = blobs
+    return features[:200], labels[:200]
+
+
+def _balanced_parens(text: str) -> bool:
+    depth = 0
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0
+
+
+@pytest.mark.parametrize(
+    "factory,keyword",
+    [
+        (OneR, "oner_detector"),
+        (J48, "tree_detector"),
+        (REPTree, "tree_detector"),
+        (JRip, "jrip_detector"),
+        (lambda: SGD(epochs=15), "linear_detector"),
+        (SMO, "linear_detector"),
+    ],
+    ids=["OneR", "J48", "REPTree", "JRip", "SGD", "SMO"],
+)
+def test_generates_well_formed_module(factory, keyword, data):
+    model = factory().fit(*data)
+    text = generate(model)
+    assert text.startswith("// Generated")
+    assert f"module {keyword}" in text
+    assert "endmodule" in text
+    assert "output reg  malware" in text
+    assert _balanced_parens(text)
+
+
+def test_custom_module_name(data):
+    model = OneR().fit(*data)
+    assert "module my_unit" in generate(model, name="my_unit")
+
+
+def test_oner_uses_single_attribute(data):
+    model = OneR().fit(*data)
+    text = generate(model)
+    attr = model.chosen_attribute
+    assert f"hpc{attr}" in text
+
+
+def test_tree_codegen_mentions_structure(data):
+    model = J48().fit(*data)
+    text = generate(model)
+    assert f"// {model.tree_size} nodes, depth {model.depth}" in text
+    assert text.count("?") == model.tree_size - model.n_leaves
+
+
+def test_jrip_one_wire_per_rule(data):
+    model = JRip().fit(*data)
+    text = generate(model)
+    assert text.count("wire rule") == model.n_rules
+
+
+def test_linear_codegen_quantizes_all_weights(data):
+    model = SGD(epochs=15).fit(*data)
+    text = generate(model)
+    for i in range(data[0].shape[1]):
+        assert f"hpc{i} * " in text
+    assert "acc[63]" in text
+
+
+def test_linear_codegen_documents_standardization(data):
+    model = SGD(epochs=15).fit(*data)
+    text = generate(model)
+    assert "pre-standardized" in text
+
+
+def test_rbf_svm_rejected(data):
+    model = SMO(kernel="rbf").fit(data[0][:80], data[1][:80])
+    with pytest.raises(CodegenError):
+        generate(model)
+
+
+def test_mlp_and_bayes_rejected(data):
+    with pytest.raises(CodegenError):
+        generate(MLP(epochs=3).fit(*data))
+    with pytest.raises(CodegenError):
+        generate(BayesNet().fit(*data))
+
+
+def test_unfitted_model_rejected():
+    with pytest.raises(Exception):
+        generate(OneR())
+
+
+class _TernaryEvaluator:
+    """Tiny recursive-descent evaluator for the generated expression
+    grammar: EXPR := 1'b0 | 1'b1 | ((hpcN <= 32'sdK) ? EXPR : EXPR)."""
+
+    def __init__(self, text: str, inputs: dict[str, int]) -> None:
+        self.text = text
+        self.pos = 0
+        self.inputs = inputs
+
+    def _skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos] in " \t":
+            self.pos += 1
+
+    def _consume(self, token: str) -> None:
+        self._skip_ws()
+        if not self.text.startswith(token, self.pos):
+            raise AssertionError(
+                f"expected {token!r} at {self.text[self.pos:self.pos + 20]!r}"
+            )
+        self.pos += len(token)
+
+    def _read_while(self, predicate) -> str:
+        start = self.pos
+        while self.pos < len(self.text) and predicate(self.text[self.pos]):
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def parse(self) -> int:
+        self._skip_ws()
+        if self.text.startswith("1'b", self.pos):
+            self.pos += 3
+            return int(self._read_while(str.isdigit))
+        self._consume("(")
+        self._consume("(")
+        self._consume("hpc")
+        attr = int(self._read_while(str.isdigit))
+        self._consume("<=")
+        self._skip_ws()
+        negative = self.text.startswith("-", self.pos)
+        if negative:
+            self.pos += 1
+        self._consume("32'sd")
+        threshold = int(self._read_while(str.isdigit))
+        if negative:
+            threshold = -threshold
+        self._consume(")")
+        self._consume("?")
+        left = self.parse()
+        self._consume(":")
+        right = self.parse()
+        self._consume(")")
+        return left if self.inputs[f"hpc{attr}"] <= threshold else right
+
+
+def test_tree_verilog_agrees_with_model(data):
+    """Semantic check: the generated RTL expression must classify like
+    the model it was lowered from (on integer-scaled inputs, since the
+    codegen rounds thresholds — HPC counts are integral in deployment).
+    """
+    features, labels = data
+    scaled = np.round(features * 1e6)  # count-scale integers
+    model = REPTree().fit(scaled, labels)
+    text = generate(model)
+    expr_line = next(line for line in text.splitlines() if "else malware <=" in line)
+    expr = expr_line.split("<=", 1)[1].strip().rstrip(";")
+    predictions = model.predict(scaled[:40])
+    for i in range(40):
+        inputs = {
+            f"hpc{j}": int(scaled[i, j]) for j in range(scaled.shape[1])
+        }
+        hw = _TernaryEvaluator(expr, inputs).parse()
+        assert hw == predictions[i]

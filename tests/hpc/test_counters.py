@@ -1,0 +1,148 @@
+"""Counter register file: programming, capacity, saturation, sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpc.counters import (
+    COUNTER_BITS,
+    CounterCapacityError,
+    CounterRegister,
+    CounterRegisterFile,
+    CounterStateError,
+    sample_trace,
+)
+from repro.hpc.events import ALL_EVENTS
+
+
+def test_default_has_four_counters():
+    assert CounterRegisterFile().n_counters == 4
+
+
+def test_rejects_zero_counters():
+    with pytest.raises(ValueError):
+        CounterRegisterFile(0)
+
+
+def test_program_binds_events_in_order():
+    rf = CounterRegisterFile(4)
+    rf.program(["cpu_cycles", "instructions"])
+    assert rf.programmed_events == ("cpu_cycles", "instructions")
+
+
+def test_program_too_many_events_raises_capacity_error():
+    rf = CounterRegisterFile(4)
+    with pytest.raises(CounterCapacityError):
+        rf.program(list(ALL_EVENTS[:5]))
+
+
+def test_program_unknown_event_rejected():
+    rf = CounterRegisterFile(2)
+    with pytest.raises(KeyError):
+        rf.program(["not_an_event"])
+
+
+def test_program_duplicate_events_rejected():
+    rf = CounterRegisterFile(4)
+    with pytest.raises(ValueError):
+        rf.program(["cpu_cycles", "cpu_cycles"])
+
+
+def test_observe_and_read():
+    rf = CounterRegisterFile(2)
+    rf.program(["cpu_cycles", "instructions"])
+    rf.observe_window({"cpu_cycles": 100.0, "instructions": 250.0, "branch_misses": 9.0})
+    assert rf.read() == {"cpu_cycles": 100, "instructions": 250}
+
+
+def test_unprogrammed_events_invisible():
+    rf = CounterRegisterFile(1)
+    rf.program(["cpu_cycles"])
+    rf.observe_window({"instructions": 999.0})
+    assert rf.read() == {"cpu_cycles": 0}
+
+
+def test_accumulation_across_windows():
+    rf = CounterRegisterFile(1)
+    rf.program(["cpu_cycles"])
+    rf.observe_window({"cpu_cycles": 10})
+    rf.observe_window({"cpu_cycles": 20})
+    assert rf.read()["cpu_cycles"] == 30
+
+
+def test_register_saturates_at_width():
+    reg = CounterRegister(index=0)
+    reg.program("cpu_cycles")
+    reg.accumulate(2.0 ** COUNTER_BITS + 5)
+    assert reg.value == (1 << COUNTER_BITS) - 1
+    assert reg.overflowed
+
+
+def test_register_rejects_negative_counts():
+    reg = CounterRegister(index=0)
+    reg.program("cpu_cycles")
+    with pytest.raises(ValueError):
+        reg.accumulate(-1.0)
+
+
+def test_unprogrammed_register_accumulate_raises():
+    reg = CounterRegister(index=0)
+    with pytest.raises(CounterStateError):
+        reg.accumulate(1.0)
+
+
+def test_release_clears_state():
+    reg = CounterRegister(index=0)
+    reg.program("cpu_cycles")
+    reg.accumulate(5)
+    reg.release()
+    assert reg.event is None
+    assert reg.value == 0
+    assert not reg.enabled
+
+
+def test_reprogram_resets_count():
+    rf = CounterRegisterFile(1)
+    rf.program(["cpu_cycles"])
+    rf.observe_window({"cpu_cycles": 50})
+    rf.program(["instructions"])
+    assert rf.read() == {"instructions": 0}
+
+
+def test_sample_trace_requires_programming():
+    rf = CounterRegisterFile(2)
+    with pytest.raises(CounterStateError):
+        sample_trace(rf, np.ones((3, 44)), ALL_EVENTS)
+
+
+def test_sample_trace_extracts_programmed_columns():
+    rf = CounterRegisterFile(2)
+    rf.program(["cpu_cycles", "branch_instructions"])
+    trace = np.arange(3 * 44, dtype=float).reshape(3, 44)
+    readings = sample_trace(rf, trace, ALL_EVENTS)
+    assert readings.shape == (3, 2)
+    cyc = ALL_EVENTS.index("cpu_cycles")
+    bi = ALL_EVENTS.index("branch_instructions")
+    np.testing.assert_allclose(readings[:, 0], np.round(trace[:, cyc]))
+    np.testing.assert_allclose(readings[:, 1], np.round(trace[:, bi]))
+
+
+def test_sample_trace_rows_are_window_deltas():
+    """Sampling mode resets registers between windows."""
+    rf = CounterRegisterFile(1)
+    rf.program(["cpu_cycles"])
+    trace = np.zeros((2, 44))
+    trace[:, ALL_EVENTS.index("cpu_cycles")] = [7.0, 9.0]
+    readings = sample_trace(rf, trace, ALL_EVENTS)
+    np.testing.assert_allclose(readings[:, 0], [7.0, 9.0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(counts=st.lists(st.floats(0, 1e12), min_size=1, max_size=10))
+def test_accumulate_never_exceeds_width(counts):
+    reg = CounterRegister(index=0)
+    reg.program("cpu_cycles")
+    for c in counts:
+        reg.accumulate(c)
+    assert 0 <= reg.value <= (1 << COUNTER_BITS) - 1

@@ -1,0 +1,73 @@
+"""Event catalogue invariants."""
+
+import pytest
+
+from repro.hpc.events import (
+    ALL_EVENTS,
+    EVENT_DESCRIPTORS,
+    EVENT_INDEX,
+    TABLE1_RANKED_EVENTS,
+    EventClass,
+    events_of_class,
+    validate_catalogue,
+)
+
+
+def test_catalogue_has_44_events():
+    assert len(ALL_EVENTS) == 44
+
+
+def test_event_names_unique():
+    assert len(set(ALL_EVENTS)) == 44
+
+
+def test_index_covers_all_events():
+    assert set(EVENT_INDEX) == set(ALL_EVENTS)
+
+
+def test_descriptor_order_matches_all_events():
+    assert tuple(d.name for d in EVENT_DESCRIPTORS) == ALL_EVENTS
+
+
+def test_table1_has_16_events():
+    assert len(TABLE1_RANKED_EVENTS) == 16
+
+
+def test_table1_events_exist_in_catalogue():
+    assert set(TABLE1_RANKED_EVENTS) <= set(ALL_EVENTS)
+
+
+def test_table1_first_event_is_branch_instructions():
+    assert TABLE1_RANKED_EVENTS[0] == "branch_instructions"
+
+
+def test_every_descriptor_has_description():
+    assert all(d.description for d in EVENT_DESCRIPTORS)
+
+
+def test_events_of_class_partition():
+    total = sum(len(events_of_class(c)) for c in EventClass)
+    assert total == 44
+
+
+def test_events_of_class_branch():
+    branch_events = events_of_class(EventClass.BRANCH)
+    assert "branch_instructions" in branch_events
+    assert "branch_misses" in branch_events
+    assert "branch_loads" in branch_events
+
+
+def test_events_of_class_tlb_has_both_tlbs():
+    tlb = events_of_class(EventClass.TLB)
+    assert any(name.startswith("dTLB") for name in tlb)
+    assert any(name.startswith("iTLB") for name in tlb)
+
+
+def test_validate_catalogue_passes():
+    validate_catalogue()  # must not raise
+
+
+def test_cache_events_include_llc_and_l1():
+    cache = events_of_class(EventClass.CACHE)
+    assert "LLC_load_misses" in cache
+    assert "L1_dcache_load_misses" in cache

@@ -1,0 +1,87 @@
+"""LXC-style container contexts: isolation, destruction, contamination."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.lxc import Container, ContainerDestroyedError, ContainerPool
+from repro.hpc.microarch import ApplicationBehavior, PhaseMix, PhaseParameters
+
+
+def _app(name="app"):
+    return ApplicationBehavior(name, [PhaseMix(PhaseParameters(), 1.0)])
+
+
+def test_container_executes_and_returns_trace():
+    container = Container(container_id=0, seed=1)
+    trace = container.execute(_app(), 5, is_malware=False)
+    assert trace.shape == (5, 44)
+
+
+def test_destroyed_container_refuses_execution():
+    container = Container(container_id=0, seed=1)
+    container.destroy()
+    with pytest.raises(ContainerDestroyedError):
+        container.execute(_app(), 3, is_malware=False)
+
+
+def test_malware_run_contaminates():
+    container = Container(container_id=0, seed=1)
+    container.execute(_app(), 3, is_malware=True)
+    assert container.contamination_level == 1
+
+
+def test_benign_run_does_not_contaminate():
+    container = Container(container_id=0, seed=1)
+    container.execute(_app(), 3, is_malware=False)
+    assert container.contamination_level == 0
+
+
+def test_runs_executed_increments():
+    container = Container(container_id=0, seed=1)
+    container.execute(_app(), 3, is_malware=False)
+    container.execute(_app(), 3, is_malware=False)
+    assert container.runs_executed == 2
+
+
+def test_repeated_runs_differ():
+    container = Container(container_id=0, seed=1)
+    a = container.execute(_app(), 5, is_malware=False)
+    b = container.execute(_app(), 5, is_malware=False)
+    assert not np.allclose(a, b)
+
+
+def test_pool_destroy_after_run_creates_fresh_containers():
+    pool = ContainerPool(seed=0, destroy_after_run=True)
+    pool.run(_app(), 3, is_malware=True)
+    pool.run(_app(), 3, is_malware=True)
+    assert pool.containers_created == 2
+
+
+def test_pool_reuse_keeps_single_container():
+    pool = ContainerPool(seed=0, destroy_after_run=False)
+    pool.run(_app(), 3, is_malware=True)
+    pool.run(_app(), 3, is_malware=False)
+    assert pool.containers_created == 1
+
+
+def test_reused_pool_accumulates_contamination():
+    pool = ContainerPool(seed=0, destroy_after_run=False)
+    pool.run(_app(), 3, is_malware=True)
+    pool.run(_app(), 3, is_malware=True)
+    assert pool._reused is not None
+    assert pool._reused.contamination_level == 2
+
+
+def test_contamination_increases_variability():
+    """The paper destroys containers to avoid exactly this effect."""
+    clean = Container(container_id=0, seed=5)
+    dirty = Container(container_id=1, seed=5, contamination_level=6)
+    spread_clean = np.std([clean.execute(_app(), 20, False).mean() for _ in range(8)])
+    spread_dirty = np.std([dirty.execute(_app(), 20, False).mean() for _ in range(8)])
+    assert spread_dirty > spread_clean
+
+
+def test_pool_deterministic_given_seed():
+    a = ContainerPool(seed=3, destroy_after_run=True).run(_app(), 4, False)
+    b = ContainerPool(seed=3, destroy_after_run=True).run(_app(), 4, False)
+    np.testing.assert_allclose(a, b)

@@ -1,0 +1,119 @@
+"""Perf-style collection: batching, multi-run stitching, multiplexing."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.events import ALL_EVENTS
+from repro.hpc.lxc import ContainerPool
+from repro.hpc.microarch import ApplicationBehavior, PhaseMix, PhaseParameters
+from repro.hpc.perf import (
+    BatchedCollection,
+    MultiplexedCollection,
+    batch_events,
+    runs_required,
+)
+
+
+def _app(name="app"):
+    return ApplicationBehavior(name, [PhaseMix(PhaseParameters(), 1.0)])
+
+
+def test_batch_events_paper_numbers():
+    batches = batch_events(ALL_EVENTS, 4)
+    assert len(batches) == 11
+    assert all(len(b) == 4 for b in batches)
+
+
+def test_batch_events_partial_final_batch():
+    batches = batch_events(list(ALL_EVENTS[:6]), 4)
+    assert [len(b) for b in batches] == [4, 2]
+
+
+def test_batch_events_rejects_zero_counters():
+    with pytest.raises(ValueError):
+        batch_events(["cpu_cycles"], 0)
+
+
+def test_runs_required_matches_paper():
+    assert runs_required(44, 4) == 11
+
+
+def test_runs_required_exact_fit():
+    assert runs_required(8, 4) == 2
+
+
+def test_runs_required_rejects_zero_events():
+    with pytest.raises(ValueError):
+        runs_required(0, 4)
+
+
+def test_batched_collection_shapes():
+    collector = BatchedCollection(n_counters=4)
+    result = collector.collect(_app(), ALL_EVENTS, 6, ContainerPool(seed=1), False)
+    assert result.samples.shape == (6, 44)
+    assert result.n_runs == 11
+    assert result.events == ALL_EVENTS
+
+
+def test_batched_collection_single_run_when_events_fit():
+    collector = BatchedCollection(n_counters=4)
+    result = collector.collect(
+        _app(), ("cpu_cycles", "instructions"), 6, ContainerPool(seed=1), False
+    )
+    assert result.n_runs == 1
+
+
+def test_batched_collection_counts_positive():
+    collector = BatchedCollection(n_counters=4)
+    result = collector.collect(_app(), ALL_EVENTS[:8], 5, ContainerPool(seed=2), False)
+    assert np.all(result.samples > 0)
+
+
+def test_batched_stitching_uses_different_runs():
+    """Columns from different batches come from different executions, so
+    a deterministic cross-event relation (ref_cycles ~ cpu_cycles) is
+    broken across the batch boundary — the paper's stitching artifact."""
+    app = _app()
+    collector = BatchedCollection(n_counters=1)
+    result = collector.collect(
+        app, ("cpu_cycles", "ref_cycles"), 30, ContainerPool(seed=3), False
+    )
+    stitched_ratio = result.samples[:, 1] / result.samples[:, 0]
+    single = BatchedCollection(n_counters=2).collect(
+        app, ("cpu_cycles", "ref_cycles"), 30, ContainerPool(seed=3), False
+    )
+    same_run_ratio = single.samples[:, 1] / single.samples[:, 0]
+    assert np.std(stitched_ratio) > np.std(same_run_ratio)
+
+
+def test_multiplexed_collection_single_run():
+    collector = MultiplexedCollection(n_counters=4)
+    result = collector.collect(_app(), ALL_EVENTS, 40, ContainerPool(seed=4), False)
+    assert result.n_runs == 1
+    assert result.samples.shape == (40, 44)
+    assert np.all(np.isfinite(result.samples))
+
+
+def test_multiplexed_backfills_first_rotation():
+    collector = MultiplexedCollection(n_counters=2)
+    result = collector.collect(
+        _app(), ("cpu_cycles", "instructions", "branch_instructions", "branch_misses"),
+        10, ContainerPool(seed=5), False,
+    )
+    assert np.all(result.samples > 0)
+
+
+def test_multiplexed_short_trace_raises():
+    collector = MultiplexedCollection(n_counters=1)
+    with pytest.raises(RuntimeError):
+        collector.collect(_app(), ALL_EVENTS, 5, ContainerPool(seed=6), False)
+
+
+def test_multiplexed_estimates_are_stale_between_rotations():
+    collector = MultiplexedCollection(n_counters=1)
+    events = ("cpu_cycles", "instructions")
+    result = collector.collect(_app(), events, 12, ContainerPool(seed=7), False)
+    # cpu_cycles is live on even windows; odd windows repeat the estimate
+    column = result.samples[:, 0]
+    assert column[1] == column[0]
+    assert column[3] == column[2]

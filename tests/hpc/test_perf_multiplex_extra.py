@@ -1,0 +1,72 @@
+"""Extra collection-fidelity properties of the Perf substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hpc.events import ALL_EVENTS
+from repro.hpc.lxc import ContainerPool
+from repro.hpc.microarch import ApplicationBehavior, PhaseMix, PhaseParameters
+from repro.hpc.perf import BatchedCollection, MultiplexedCollection, batch_events
+
+
+def _app(ipc=1.2):
+    return ApplicationBehavior("p", [PhaseMix(PhaseParameters(ipc=ipc), 1.0)])
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_events=st.integers(1, 44), n_counters=st.integers(1, 8))
+def test_batches_cover_all_events_exactly_once(n_events, n_counters):
+    events = list(ALL_EVENTS[:n_events])
+    batches = batch_events(events, n_counters)
+    flattened = [e for batch in batches for e in batch]
+    assert flattened == events
+    assert all(len(batch) <= n_counters for batch in batches)
+
+
+def test_batched_and_multiplexed_agree_on_scale():
+    """Both collection strategies must estimate the same average rates;
+    multiplexing adds staleness error, not bias."""
+    events = tuple(ALL_EVENTS[:8])
+    batched = BatchedCollection(n_counters=4).collect(
+        _app(), events, 60, ContainerPool(seed=1), False
+    )
+    multiplexed = MultiplexedCollection(n_counters=4).collect(
+        _app(), events, 60, ContainerPool(seed=1), False
+    )
+    ratio = batched.samples.mean(axis=0) / multiplexed.samples.mean(axis=0)
+    assert np.all(ratio > 0.7)
+    assert np.all(ratio < 1.4)
+
+
+def test_more_counters_fewer_runs():
+    events = tuple(ALL_EVENTS[:12])
+    runs = {}
+    for n_counters in (2, 4, 6):
+        result = BatchedCollection(n_counters=n_counters).collect(
+            _app(), events, 5, ContainerPool(seed=2), False
+        )
+        runs[n_counters] = result.n_runs
+    assert runs[2] > runs[4] > runs[6]
+
+
+def test_event_magnitudes_plausible_for_nehalem():
+    """10 ms at 2.67 GHz: cycles ~26.7M, instructions = cycles * IPC."""
+    result = BatchedCollection(n_counters=4).collect(
+        _app(ipc=1.0), ("cpu_cycles", "instructions"), 30, ContainerPool(seed=3), False
+    )
+    cycles = result.samples[:, 0].mean()
+    instructions = result.samples[:, 1].mean()
+    assert 1.5e7 < cycles < 4e7
+    assert 0.5 < instructions / cycles < 2.0
+
+
+def test_collection_result_metadata():
+    events = tuple(ALL_EVENTS[:5])
+    result = BatchedCollection(n_counters=4).collect(
+        _app(), events, 3, ContainerPool(seed=4), True
+    )
+    assert result.app_name == "p"
+    assert result.events == events
+    assert result.n_runs == 2

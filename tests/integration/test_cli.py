@@ -1,0 +1,107 @@
+"""CLI smoke tests (fast settings)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--windows", "6", "--seed", "11"]
+
+
+def test_parser_builds():
+    build_parser()
+
+
+def test_corpus_command(capsys, tmp_path):
+    csv = tmp_path / "c.csv"
+    arff = tmp_path / "c.arff"
+    rc = main(["corpus", *FAST, "--csv", str(csv), "--arff", str(arff)])
+    assert rc == 0
+    assert csv.exists() and arff.exists()
+    assert "122 applications" in capsys.readouterr().out
+
+
+def test_rank_command(capsys):
+    rc = main(["rank", *FAST, "--top", "5"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert out.count(". ") >= 5
+
+
+def test_evaluate_command(capsys):
+    rc = main(["evaluate", *FAST, "--classifier", "OneR", "--hpcs", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "2HPC-OneR" in out
+    assert "accuracy=" in out
+
+
+def test_matrix_command(capsys):
+    rc = main([
+        "matrix", *FAST,
+        "--classifiers", "OneR",
+        "--budgets", "4", "2",
+        "--ensembles", "general",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+    assert "Table 2" in out
+    assert "Figure 5" in out
+
+
+def test_monitor_command(capsys):
+    rc = main([
+        "monitor", *FAST,
+        "--classifier", "OneR", "--ensemble", "general",
+        "--hpcs", "2", "--stride", "6", "--windows", "8",
+    ])
+    assert rc == 0
+    assert "application-level accuracy" in capsys.readouterr().out
+
+
+def test_unknown_classifier_rejected():
+    with pytest.raises(SystemExit):
+        main(["evaluate", "--classifier", "XGBoost"])
+
+
+def test_verilog_command(capsys, tmp_path):
+    out = tmp_path / "detector.v"
+    rc = main([
+        "verilog", *FAST,
+        "--classifier", "OneR", "--hpcs", "2", "--output", str(out),
+    ])
+    assert rc == 0
+    text = out.read_text()
+    assert "module oner_detector" in text
+    assert "endmodule" in text
+    assert "monitored events" in capsys.readouterr().out
+
+
+def test_verilog_to_stdout(capsys):
+    rc = main(["verilog", *FAST, "--classifier", "JRip", "--hpcs", "2",
+               "--module", "custom_name"])
+    assert rc == 0
+    assert "module custom_name" in capsys.readouterr().out
+
+
+def test_crossval_command(capsys):
+    rc = main([
+        "crossval", *FAST,
+        "--classifiers", "OneR", "--hpcs", "2", "--folds", "3",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "±" in out
+    assert "2HPC-OneR" in out
+
+
+def test_evasion_command(capsys):
+    rc = main([
+        "evasion", *FAST,
+        "--classifier", "OneR", "--hpcs", "2", "--strengths", "0", "0.6",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "payload kept" in out
+    assert "60%" in out

@@ -1,0 +1,112 @@
+"""Cross-module integration: the paper's pipeline end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core import DetectorConfig, HMDDetector, RuntimeMonitor
+from repro.features import rank_features
+from repro.hardware import lower
+from repro.hpc import ALL_EVENTS, TABLE1_RANKED_EVENTS, ContainerPool
+from repro.ml import app_level_split
+from repro.workloads import default_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return default_corpus(seed=77, windows_per_app=12)
+
+
+@pytest.fixture(scope="module")
+def split(corpus):
+    return app_level_split(corpus, 0.7, seed=7)
+
+
+def test_corpus_matches_paper_scale(corpus):
+    assert corpus.n_apps > 100
+    assert corpus.n_features == 44
+    assert corpus.feature_names == ALL_EVENTS
+
+
+def test_feature_ranking_matches_table1_categories(split):
+    """The top 16 should be dominated by the same event categories as
+    the paper's Table 1 (branch/TLB/cache/memory, not raw cycle counts)."""
+    ranking = rank_features(split.train)
+    top16 = set(ranking.top(16))
+    overlap = top16 & set(TABLE1_RANKED_EVENTS)
+    # the small integration corpus (12 windows/app) is sample-noisy;
+    # the full corpus reaches 9+/16 (see EXPERIMENTS.md)
+    assert len(overlap) >= 7
+    assert "cpu_cycles" not in ranking.top(8)
+
+
+def test_detectors_beat_chance_on_unknown_apps(split):
+    for classifier in ("BayesNet", "J48", "REPTree"):
+        detector = HMDDetector(DetectorConfig(classifier, "general", 8))
+        detector.fit(split.train)
+        result = detector.evaluate(split.test)
+        assert result.accuracy > 0.65, classifier
+        assert result.auc > 0.65, classifier
+
+
+def test_accuracy_degrades_with_fewer_counters(split):
+    """Figure 3's left-to-right trend, on the pooled tree detectors."""
+    wide, narrow = [], []
+    for classifier in ("J48", "REPTree", "BayesNet"):
+        for seed_cfg in (0,):
+            w = HMDDetector(DetectorConfig(classifier, "general", 16)).fit(split.train)
+            n = HMDDetector(DetectorConfig(classifier, "general", 2)).fit(split.train)
+            wide.append(w.evaluate(split.test).accuracy)
+            narrow.append(n.evaluate(split.test).accuracy)
+    assert np.mean(wide) > np.mean(narrow)
+
+
+def test_ensemble_recovers_small_budget_accuracy(split):
+    """The paper's central claim: ensembles at 2-4 HPCs close most of
+    the gap to the 16-HPC general detector."""
+    general16 = HMDDetector(DetectorConfig("REPTree", "general", 16)).fit(split.train)
+    general2 = HMDDetector(DetectorConfig("REPTree", "general", 2)).fit(split.train)
+    boosted2 = HMDDetector(DetectorConfig("REPTree", "boosted", 2)).fit(split.train)
+    p16 = general16.evaluate(split.test).performance
+    p2 = general2.evaluate(split.test).performance
+    p2b = boosted2.evaluate(split.test).performance
+    assert p2b >= p2  # boosting never hurts here
+    assert p2b >= 0.85 * p16  # and closes most of the budget gap
+
+
+def test_trained_detector_deploys_and_runs(split):
+    detector = HMDDetector(DetectorConfig("J48", "general", 4)).fit(split.train)
+    monitor = RuntimeMonitor(detector, n_counters=4)
+    from repro.workloads import MALWARE_FAMILIES
+
+    app = MALWARE_FAMILIES[0].instantiate(np.random.default_rng(5))[0]
+    verdict = monitor.monitor(app, 15, ContainerPool(seed=6), is_malware=True)
+    assert verdict.n_windows == 15
+
+
+def test_trained_detector_lowers_to_hardware(split):
+    detector = HMDDetector(DetectorConfig("JRip", "boosted", 4)).fit(split.train)
+    design = lower(detector.model)
+    assert design.latency_cycles > 0
+    assert 0 < design.area_percent < 100
+
+
+def test_full_grid_slice_is_consistent(corpus):
+    from repro.analysis import MatrixRunner
+
+    runner = MatrixRunner(corpus, seeds=(7,))
+    record = runner.evaluate(DetectorConfig("OneR", "general", 2))
+    detector_record = runner.evaluate(DetectorConfig("OneR", "general", 2))
+    assert record == detector_record  # deterministic
+
+
+def test_csv_round_trip_preserves_evaluation(tmp_path, corpus):
+    from repro.workloads.dataset import Dataset
+
+    path = tmp_path / "corpus.csv"
+    corpus.to_csv(path)
+    loaded = Dataset.from_csv(path)
+    split_a = app_level_split(corpus, 0.7, seed=1)
+    split_b = app_level_split(loaded, 0.7, seed=1)
+    a = HMDDetector(DetectorConfig("OneR", "general", 2)).fit(split_a.train)
+    b = HMDDetector(DetectorConfig("OneR", "general", 2)).fit(split_b.train)
+    assert a.evaluate(split_a.test) == b.evaluate(split_b.test)

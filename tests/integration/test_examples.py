@@ -1,0 +1,42 @@
+"""The shipped examples must at least import and expose a main()."""
+
+import ast
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_at_least_five_examples_ship():
+    assert len(EXAMPLE_FILES) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    functions = {n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)}
+    assert "main" in functions
+    assert any(
+        isinstance(node, ast.If) and "__main__" in ast.dump(node.test)
+        for node in tree.body
+    ), f"{path.name} lacks an __main__ guard"
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_docstring_explains_itself(path):
+    tree = ast.parse(path.read_text())
+    doc = ast.get_docstring(tree)
+    assert doc and len(doc.splitlines()) >= 3
+    assert "Run:" in doc
+
+
+@pytest.mark.parametrize("path", EXAMPLE_FILES, ids=lambda p: p.name)
+def test_example_imports_resolve(path):
+    """Import each example as a module (without executing main)."""
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(module.main)

@@ -1,0 +1,113 @@
+"""Classifier base API: validation, weights, cloning, fitted checks."""
+
+import numpy as np
+import pytest
+
+from repro.ml import BASE_CLASSIFIERS, NotFittedError, make_classifier
+from repro.ml.base import check_features, check_training_set, proba_from_counts
+from repro.ml.oner import OneR
+
+
+def test_check_features_requires_2d():
+    with pytest.raises(ValueError):
+        check_features(np.zeros(5))
+
+
+def test_check_features_rejects_nan():
+    bad = np.zeros((2, 2))
+    bad[0, 0] = np.nan
+    with pytest.raises(ValueError):
+        check_features(bad)
+
+
+def test_check_features_rejects_inf():
+    bad = np.zeros((2, 2))
+    bad[1, 1] = np.inf
+    with pytest.raises(ValueError):
+        check_features(bad)
+
+
+def test_check_training_set_rejects_empty():
+    with pytest.raises(ValueError):
+        check_training_set(np.zeros((0, 2)), np.zeros(0))
+
+
+def test_check_training_set_rejects_nonbinary():
+    with pytest.raises(ValueError):
+        check_training_set(np.zeros((2, 1)), np.array([0, 2]))
+
+
+def test_check_training_set_rejects_misaligned_weights():
+    with pytest.raises(ValueError):
+        check_training_set(np.zeros((2, 1)), np.array([0, 1]), np.ones(3))
+
+
+def test_check_training_set_rejects_negative_weights():
+    with pytest.raises(ValueError):
+        check_training_set(np.zeros((2, 1)), np.array([0, 1]), np.array([1.0, -1.0]))
+
+
+def test_check_training_set_rejects_zero_weight_sum():
+    with pytest.raises(ValueError):
+        check_training_set(np.zeros((2, 1)), np.array([0, 1]), np.zeros(2))
+
+
+def test_weights_normalized_to_sample_count():
+    _, _, w = check_training_set(
+        np.zeros((4, 1)), np.array([0, 1, 0, 1]), np.array([1.0, 1.0, 2.0, 4.0])
+    )
+    assert w.sum() == pytest.approx(4.0)
+
+
+def test_default_weights_are_ones():
+    _, _, w = check_training_set(np.zeros((3, 1)), np.array([0, 1, 0]))
+    np.testing.assert_allclose(w, np.ones(3))
+
+
+def test_proba_from_counts_rows_sum_to_one():
+    probs = proba_from_counts(np.array([[3.0, 1.0], [0.0, 0.0]]))
+    np.testing.assert_allclose(probs.sum(axis=1), [1.0, 1.0])
+
+
+def test_proba_from_counts_laplace_smoothing():
+    probs = proba_from_counts(np.array([0.0, 0.0]), prior=1.0)
+    np.testing.assert_allclose(probs, [0.5, 0.5])
+
+
+@pytest.mark.parametrize("name", sorted(BASE_CLASSIFIERS))
+def test_unfitted_classifier_raises(name):
+    model = make_classifier(name)
+    with pytest.raises(NotFittedError):
+        model.predict(np.zeros((1, 2)))
+
+
+@pytest.mark.parametrize("name", sorted(BASE_CLASSIFIERS))
+def test_clone_is_unfitted_with_same_params(name):
+    model = make_classifier(name)
+    cloned = model.clone()
+    assert type(cloned) is type(model)
+    assert cloned.params == model.params
+    assert not cloned.fitted_
+
+
+def test_make_classifier_unknown_name():
+    with pytest.raises(KeyError):
+        make_classifier("RandomForest")
+
+
+def test_repr_contains_params():
+    assert "min_bucket_size=6" in repr(OneR())
+
+
+@pytest.mark.parametrize("name", sorted(BASE_CLASSIFIERS))
+def test_predict_consistent_with_proba(name, blobs):
+    features, labels = blobs
+    model = make_classifier(name)
+    if name == "MLP":
+        model = type(model)(epochs=30)
+    model.fit(features[:200], labels[:200])
+    proba = model.predict_proba(features[200:260])
+    pred = model.predict(features[200:260])
+    np.testing.assert_array_equal(pred, (proba[:, 1] >= 0.5).astype(int))
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+    assert np.all(proba >= 0)

@@ -1,0 +1,157 @@
+"""Related-work baseline detectors: logistic, KNN, anomaly."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    GaussianAnomalyDetector,
+    KNearestNeighbors,
+    LogisticRegression,
+    accuracy,
+    roc_auc,
+)
+from tests.conftest import train_test
+
+
+# ----------------------------------------------------- LogisticRegression
+def test_logistic_aces_separable(blobs):
+    xtr, ytr, xte, yte = train_test(*blobs)
+    model = LogisticRegression().fit(xtr, ytr)
+    assert accuracy(yte, model.predict(xte)) > 0.95
+
+
+def test_logistic_probabilities_calibrated_direction(blobs):
+    xtr, ytr, xte, yte = train_test(*blobs)
+    model = LogisticRegression().fit(xtr, ytr)
+    proba = model.predict_proba(xte)[:, 1]
+    assert proba[yte == 1].mean() > proba[yte == 0].mean()
+
+
+def test_logistic_converges_quickly(blobs):
+    features, labels = blobs
+    model = LogisticRegression().fit(features, labels)
+    assert model.n_iterations_ <= 25
+
+
+def test_logistic_coefficients_shape(blobs):
+    features, labels = blobs
+    model = LogisticRegression().fit(features, labels)
+    assert model.coefficients.shape == (features.shape[1],)
+
+
+def test_logistic_supports_weights(blobs):
+    features, labels = blobs
+    weights = np.where(labels == 1, 5.0, 1.0)
+    model = LogisticRegression().fit(features, labels, sample_weight=weights)
+    # up-weighting malware raises the malware rate of predictions
+    base = LogisticRegression().fit(features, labels)
+    assert model.predict(features).mean() >= base.predict(features).mean()
+
+
+def test_logistic_validates_params():
+    with pytest.raises(ValueError):
+        LogisticRegression(reg_lambda=-1.0)
+    with pytest.raises(ValueError):
+        LogisticRegression(max_iterations=0)
+
+
+def test_logistic_fails_xor(xor_data):
+    """Linear baseline — same blind spot the paper's SGD/SMO rows have."""
+    xtr, ytr, xte, yte = train_test(*xor_data)
+    model = LogisticRegression().fit(xtr, ytr)
+    assert accuracy(yte, model.predict(xte)) < 0.7
+
+
+# ----------------------------------------------------- KNearestNeighbors
+def test_knn_aces_separable(blobs):
+    xtr, ytr, xte, yte = train_test(*blobs)
+    model = KNearestNeighbors(k=5).fit(xtr, ytr)
+    assert accuracy(yte, model.predict(xte)) > 0.95
+
+
+def test_knn_handles_xor(xor_data):
+    """Demme et al.'s offline result: instance-based methods handle the
+    multimodal layout that linear models cannot."""
+    xtr, ytr, xte, yte = train_test(*xor_data)
+    model = KNearestNeighbors(k=7).fit(xtr, ytr)
+    assert accuracy(yte, model.predict(xte)) > 0.9
+
+
+def test_knn_stores_training_set(blobs):
+    features, labels = blobs
+    model = KNearestNeighbors().fit(features[:123], labels[:123])
+    assert model.n_stored == 123
+
+
+def test_knn_k_larger_than_train():
+    features = np.array([[0.0], [1.0], [10.0]])
+    labels = np.array([0, 0, 1])
+    model = KNearestNeighbors(k=50).fit(features, labels)
+    assert model.predict(np.array([[0.5]])).shape == (1,)
+
+
+def test_knn_unweighted_mode(blobs):
+    xtr, ytr, xte, yte = train_test(*blobs)
+    model = KNearestNeighbors(k=5, weighted=False).fit(xtr, ytr)
+    assert accuracy(yte, model.predict(xte)) > 0.9
+
+
+def test_knn_validates_k():
+    with pytest.raises(ValueError):
+        KNearestNeighbors(k=0)
+
+
+# ----------------------------------------------- GaussianAnomalyDetector
+def _shifted_anomaly_data():
+    rng = np.random.default_rng(0)
+    benign = np.vstack([
+        rng.normal([0, 0, 0], 0.5, (150, 3)),
+        rng.normal([4, 1, 0], 0.5, (150, 3)),
+    ])
+    malware = rng.normal([2, 5, 4], 0.7, (100, 3))
+    features = np.expm1(np.vstack([benign, malware]) / 2.0 + 2.0)  # positive counts
+    labels = np.array([0] * 300 + [1] * 100)
+    return features, labels
+
+
+def test_anomaly_detector_separates_shifted_malware():
+    features, labels = _shifted_anomaly_data()
+    model = GaussianAnomalyDetector(n_components=3, seed=1).fit(features, labels)
+    assert roc_auc(labels, model.anomaly_scores(features)) > 0.9
+
+
+def test_anomaly_detector_trains_on_benign_only():
+    """Malware rows must not influence the model: moving them leaves the
+    benign density unchanged."""
+    features, labels = _shifted_anomaly_data()
+    a = GaussianAnomalyDetector(n_components=3, seed=1).fit(features, labels)
+    moved = features.copy()
+    moved[labels == 1] *= 100.0
+    b = GaussianAnomalyDetector(n_components=3, seed=1).fit(moved, labels)
+    benign_rows = features[labels == 0]
+    np.testing.assert_allclose(
+        a.anomaly_scores(benign_rows), b.anomaly_scores(benign_rows)
+    )
+
+
+def test_anomaly_threshold_matches_contamination():
+    features, labels = _shifted_anomaly_data()
+    model = GaussianAnomalyDetector(
+        n_components=3, contamination=0.1, seed=2
+    ).fit(features, labels)
+    benign_flagged = model.predict(features[labels == 0]).mean()
+    assert benign_flagged < 0.25
+
+
+def test_anomaly_validates_params():
+    with pytest.raises(ValueError):
+        GaussianAnomalyDetector(n_components=0)
+    with pytest.raises(ValueError):
+        GaussianAnomalyDetector(contamination=0.7)
+
+
+def test_anomaly_needs_enough_benign():
+    features = np.ones((4, 2))
+    labels = np.array([1, 1, 1, 0])
+    with pytest.raises(ValueError):
+        GaussianAnomalyDetector(n_components=3).fit(features, labels)

@@ -1,0 +1,104 @@
+"""Fayyad–Irani MDL discretization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.discretize import (
+    Discretizer,
+    equal_frequency_cuts,
+    mdl_cut_points,
+)
+
+
+def test_separable_attribute_gets_a_cut():
+    values = np.concatenate([np.linspace(0, 1, 50), np.linspace(5, 6, 50)])
+    labels = np.array([0] * 50 + [1] * 50)
+    cuts = mdl_cut_points(values, labels)
+    assert len(cuts) >= 1
+    assert 1 < cuts[0] < 5
+
+
+def test_uninformative_attribute_gets_no_cut():
+    rng = np.random.default_rng(0)
+    values = rng.normal(size=200)
+    labels = rng.integers(0, 2, 200)
+    assert mdl_cut_points(values, labels) == []
+
+
+def test_constant_attribute_gets_no_cut():
+    values = np.ones(50)
+    labels = np.array([0, 1] * 25)
+    assert mdl_cut_points(values, labels) == []
+
+
+def test_cuts_are_sorted():
+    rng = np.random.default_rng(1)
+    values = np.concatenate([
+        rng.normal(0, 0.2, 60), rng.normal(2, 0.2, 60), rng.normal(4, 0.2, 60)
+    ])
+    labels = np.array([0] * 60 + [1] * 60 + [0] * 60)
+    cuts = mdl_cut_points(values, labels)
+    assert cuts == sorted(cuts)
+    assert len(cuts) >= 2
+
+
+def test_weighted_cuts_respect_mass():
+    """Down-weighting one class's cluster should not change separability
+    detection, but zero-weighting removes it."""
+    values = np.concatenate([np.zeros(30), np.ones(30)])
+    labels = np.array([0] * 30 + [1] * 30)
+    weights = np.concatenate([np.ones(30), np.full(30, 1e-9)])
+    assert mdl_cut_points(values, labels, weights) == []
+
+
+def test_discretizer_transform_bins():
+    features = np.array([[0.0], [1.0], [10.0], [11.0]])
+    labels = np.array([0, 0, 1, 1])
+    disc = Discretizer.fit(features, labels)
+    binned = disc.transform(features)
+    assert binned[0, 0] == binned[1, 0] == 0
+    assert binned[2, 0] == binned[3, 0] == 1
+
+
+def test_discretizer_n_bins():
+    features = np.array([[0.0], [1.0], [10.0], [11.0]])
+    labels = np.array([0, 0, 1, 1])
+    disc = Discretizer.fit(features, labels)
+    assert disc.n_bins == (2,)
+
+
+def test_discretizer_feature_count_mismatch():
+    disc = Discretizer(cut_points=((1.0,),))
+    with pytest.raises(ValueError):
+        disc.transform(np.zeros((2, 3)))
+
+
+def test_transform_out_of_range_values_clamp_to_edge_bins():
+    disc = Discretizer(cut_points=((0.0, 1.0),))
+    binned = disc.transform(np.array([[-100.0], [0.5], [100.0]]))
+    assert list(binned[:, 0]) == [0, 1, 2]
+
+
+def test_equal_frequency_cuts_count():
+    values = np.arange(100, dtype=float)
+    cuts = equal_frequency_cuts(values, 4)
+    assert len(cuts) == 3
+
+
+def test_equal_frequency_single_bin_no_cuts():
+    assert equal_frequency_cuts(np.arange(10.0), 1) == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 1000))
+def test_transform_bins_within_range(seed):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(60, 3))
+    labels = rng.integers(0, 2, 60)
+    disc = Discretizer.fit(features, labels)
+    binned = disc.transform(rng.normal(size=(20, 3)))
+    for j, nb in enumerate(disc.n_bins):
+        assert binned[:, j].min() >= 0
+        assert binned[:, j].max() < nb

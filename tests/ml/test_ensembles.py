@@ -1,0 +1,143 @@
+"""AdaBoost.M1 and Bagging behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    SGD,
+    SMO,
+    AdaBoostM1,
+    Bagging,
+    J48,
+    NotFittedError,
+    OneR,
+    REPTree,
+    accuracy,
+    roc_auc,
+)
+from tests.conftest import train_test
+
+
+def test_boosting_lifts_weak_learner_on_xor(xor_data):
+    """The paper's central claim in miniature: a linear learner that
+    fails the multimodal layout is substantially improved by boosting."""
+    xtr, ytr, xte, yte = train_test(*xor_data)
+    weak = SMO().fit(xtr, ytr)
+    boosted = AdaBoostM1(SMO(), n_estimators=15, seed=3).fit(xtr, ytr)
+    weak_acc = accuracy(yte, weak.predict(xte))
+    boosted_acc = accuracy(yte, boosted.predict(xte))
+    assert boosted_acc > weak_acc + 0.08
+
+
+def test_boosting_lifts_hard_vote_auc(xor_data):
+    """Boosted SMO has graded scores -> AUC jumps (paper Table 2's
+    0.65 -> 0.88 effect)."""
+    xtr, ytr, xte, yte = train_test(*xor_data)
+    weak = SMO().fit(xtr, ytr)
+    boosted = AdaBoostM1(SMO(), n_estimators=15, seed=3).fit(xtr, ytr)
+    assert roc_auc(yte, boosted.decision_scores(xte)) > roc_auc(
+        yte, weak.decision_scores(xte)
+    )
+
+
+def test_boosting_oner_on_xor(xor_data):
+    xtr, ytr, xte, yte = train_test(*xor_data)
+    weak_acc = accuracy(yte, OneR().fit(xtr, ytr).predict(xte))
+    boosted = AdaBoostM1(OneR(), n_estimators=20, seed=1).fit(xtr, ytr)
+    assert accuracy(yte, boosted.predict(xte)) > weak_acc
+
+
+def test_adaboost_stops_on_perfect_member(blobs):
+    features, labels = blobs
+    boosted = AdaBoostM1(J48(), n_estimators=10).fit(features, labels)
+    # J48 separates the blobs perfectly, so boosting stops early
+    assert boosted.n_models < 10
+
+
+def test_adaboost_weight_aware_learner_uses_weights(blobs):
+    features, labels = blobs
+    boosted = AdaBoostM1(REPTree(), n_estimators=5, use_resampling=False)
+    boosted.fit(features, labels)
+    assert boosted.n_models >= 1
+
+
+def test_adaboost_estimator_weights_positive(xor_data):
+    features, labels = xor_data
+    boosted = AdaBoostM1(SGD(epochs=20), n_estimators=8).fit(features, labels)
+    assert all(w > 0 for w in boosted.estimator_weights_)
+
+
+def test_adaboost_rejects_zero_estimators():
+    with pytest.raises(ValueError):
+        AdaBoostM1(OneR(), n_estimators=0)
+
+
+def test_adaboost_clone_clones_base():
+    boosted = AdaBoostM1(OneR(min_bucket_size=9), n_estimators=7)
+    cloned = boosted.clone()
+    assert cloned.n_estimators == 7
+    assert cloned.base.params == {"min_bucket_size": 9}
+    assert cloned.base is not boosted.base
+
+
+def test_adaboost_unfitted_raises():
+    with pytest.raises(NotFittedError):
+        AdaBoostM1(OneR()).predict(np.zeros((1, 2)))
+
+
+def test_bagging_reduces_variance_of_unpruned_trees(xor_data):
+    xtr, ytr, xte, yte = train_test(*xor_data)
+    rng = np.random.default_rng(5)
+    noisy = ytr.copy()
+    flip = rng.random(len(noisy)) < 0.15
+    noisy[flip] = 1 - noisy[flip]
+    single = J48(unpruned=True).fit(xtr, noisy)
+    bagged = Bagging(J48(unpruned=True), n_estimators=15, seed=2).fit(xtr, noisy)
+    assert accuracy(yte, bagged.predict(xte)) >= accuracy(yte, single.predict(xte))
+
+
+def test_bagging_oob_accuracy_tracked(blobs):
+    features, labels = blobs
+    bagged = Bagging(REPTree(), n_estimators=10).fit(features, labels)
+    assert bagged.oob_accuracy_ is not None
+    assert 0.5 < bagged.oob_accuracy_ <= 1.0
+
+
+def test_bagging_probability_is_member_average(blobs):
+    features, labels = blobs
+    bagged = Bagging(OneR(), n_estimators=4, seed=0).fit(features, labels)
+    manual = np.mean(
+        [m.predict_proba(features[:10]) for m in bagged.estimators_], axis=0
+    )
+    np.testing.assert_allclose(bagged.predict_proba(features[:10]), manual)
+
+
+def test_bagging_bag_fraction_validated():
+    with pytest.raises(ValueError):
+        Bagging(OneR(), bag_fraction=0.0)
+
+
+def test_bagging_n_models(blobs):
+    features, labels = blobs
+    bagged = Bagging(OneR(), n_estimators=6).fit(features, labels)
+    assert bagged.n_models == 6
+
+
+def test_bagging_deterministic_given_seed(blobs):
+    features, labels = blobs
+    a = Bagging(REPTree(), n_estimators=5, seed=9).fit(features, labels)
+    b = Bagging(REPTree(), n_estimators=5, seed=9).fit(features, labels)
+    np.testing.assert_allclose(
+        a.predict_proba(features[:20]), b.predict_proba(features[:20])
+    )
+
+
+def test_ensembles_work_with_nonweight_learners(blobs):
+    """SMO/JRip do not accept weights; AdaBoost must fall back to
+    resampling transparently."""
+    features, labels = blobs
+    from repro.ml import JRip
+
+    for base in (SMO(), JRip()):
+        model = AdaBoostM1(base, n_estimators=3).fit(features[:150], labels[:150])
+        assert model.n_models >= 1

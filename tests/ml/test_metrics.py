@@ -1,0 +1,166 @@
+"""Metrics: accuracy, confusion matrix, ROC/AUC properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    acc_times_auc,
+    accuracy,
+    classification_report,
+    confusion_matrix,
+    evaluate_detector,
+    roc_auc,
+    roc_curve,
+)
+
+
+def test_accuracy_perfect():
+    y = np.array([0, 1, 1, 0])
+    assert accuracy(y, y) == 1.0
+
+
+def test_accuracy_half():
+    assert accuracy(np.array([0, 0, 1, 1]), np.array([0, 1, 1, 0])) == 0.5
+
+
+def test_accuracy_empty_rejected():
+    with pytest.raises(ValueError):
+        accuracy(np.array([]), np.array([]))
+
+
+def test_accuracy_shape_mismatch_rejected():
+    with pytest.raises(ValueError):
+        accuracy(np.array([0, 1]), np.array([0]))
+
+
+def test_confusion_matrix_layout():
+    y_true = np.array([0, 0, 1, 1, 1])
+    y_pred = np.array([0, 1, 1, 0, 1])
+    matrix = confusion_matrix(y_true, y_pred)
+    assert matrix[0, 0] == 1  # TN
+    assert matrix[0, 1] == 1  # FP
+    assert matrix[1, 0] == 1  # FN
+    assert matrix[1, 1] == 2  # TP
+
+
+def test_classification_report_values():
+    y_true = np.array([0, 0, 0, 1, 1, 1])
+    y_pred = np.array([0, 0, 1, 1, 1, 0])
+    report = classification_report(y_true, y_pred)
+    assert report.accuracy == pytest.approx(4 / 6)
+    assert report.precision == pytest.approx(2 / 3)
+    assert report.recall == pytest.approx(2 / 3)
+    assert report.false_positive_rate == pytest.approx(1 / 3)
+
+
+def test_report_degenerate_no_positives_predicted():
+    y_true = np.array([0, 1])
+    y_pred = np.array([0, 0])
+    report = classification_report(y_true, y_pred)
+    assert report.precision == 0.0
+    assert report.f1 == 0.0
+
+
+def test_roc_curve_endpoints():
+    y = np.array([0, 0, 1, 1])
+    scores = np.array([0.1, 0.4, 0.35, 0.8])
+    fpr, tpr, thresholds = roc_curve(y, scores)
+    assert fpr[0] == 0.0 and tpr[0] == 0.0
+    assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+    assert thresholds[0] == np.inf
+
+
+def test_roc_curve_monotone():
+    rng = np.random.default_rng(0)
+    y = rng.integers(0, 2, 200)
+    y[0], y[1] = 0, 1
+    scores = rng.normal(size=200)
+    fpr, tpr, _ = roc_curve(y, scores)
+    assert np.all(np.diff(fpr) >= 0)
+    assert np.all(np.diff(tpr) >= 0)
+
+
+def test_roc_requires_both_classes():
+    with pytest.raises(ValueError):
+        roc_curve(np.array([1, 1]), np.array([0.1, 0.2]))
+
+
+def test_auc_perfect_separation():
+    y = np.array([0, 0, 1, 1])
+    assert roc_auc(y, np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+
+def test_auc_inverted_scores():
+    y = np.array([0, 0, 1, 1])
+    assert roc_auc(y, np.array([0.9, 0.8, 0.2, 0.1])) == 0.0
+
+
+def test_auc_constant_scores_is_half():
+    y = np.array([0, 1, 0, 1])
+    assert roc_auc(y, np.zeros(4)) == pytest.approx(0.5)
+
+
+def test_auc_known_value_with_tie():
+    y = np.array([0, 1, 1])
+    scores = np.array([0.5, 0.5, 0.9])
+    # P(malware outscores benign) = 1/2*(1) + 1/2 tie*(0.5) -> 0.75
+    assert roc_auc(y, scores) == pytest.approx(0.75)
+
+
+def test_auc_equals_pairwise_probability():
+    rng = np.random.default_rng(3)
+    y = np.array([0] * 40 + [1] * 60)
+    scores = np.concatenate([rng.normal(0, 1, 40), rng.normal(1, 1, 60)])
+    fpr_auc = roc_auc(y, scores)
+    pos, neg = scores[y == 1], scores[y == 0]
+    wins = (pos[:, None] > neg[None, :]).sum() + 0.5 * (pos[:, None] == neg[None, :]).sum()
+    assert fpr_auc == pytest.approx(wins / (len(pos) * len(neg)))
+
+
+def test_hard_scores_auc_is_balanced_accuracy():
+    """The WEKA-SMO artifact the paper's Table 2 shows: 0/1 scores."""
+    y = np.array([0] * 50 + [1] * 50)
+    pred = y.copy()
+    pred[:10] = 1  # 10 FP
+    pred[50:30 + 50 - 10] = 1
+    pred[50 + 30 :] = 0  # 20 FN -> TPR 0.6, FPR 0.2
+    auc = roc_auc(y, pred.astype(float))
+    tpr = pred[50:].mean()
+    fpr = pred[:50].mean()
+    assert auc == pytest.approx((tpr + 1 - fpr) / 2)
+
+
+def test_acc_times_auc():
+    y = np.array([0, 0, 1, 1])
+    pred = np.array([0, 0, 1, 0])
+    scores = np.array([0.1, 0.2, 0.9, 0.4])
+    assert acc_times_auc(y, pred, scores) == pytest.approx(0.75 * 1.0)
+
+
+def test_evaluate_detector_performance_property():
+    y = np.array([0, 0, 1, 1])
+    scores = np.array([0.2, 0.3, 0.6, 0.9])
+    result = evaluate_detector(y, (scores >= 0.5).astype(int), scores)
+    assert result.performance == pytest.approx(result.accuracy * result.auc)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 60), st.integers(0, 10_000))
+def test_auc_always_in_unit_interval(n, seed):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    y[0], y[-1] = 0, 1
+    scores = rng.normal(size=n)
+    assert 0.0 <= roc_auc(y, scores) <= 1.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(2, 60), st.integers(0, 10_000))
+def test_auc_symmetric_under_score_negation(n, seed):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, n)
+    y[0], y[-1] = 0, 1
+    scores = rng.normal(size=n)
+    assert roc_auc(y, scores) == pytest.approx(1.0 - roc_auc(y, -scores))

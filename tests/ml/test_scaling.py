@@ -1,0 +1,40 @@
+"""Feature standardization."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.scaling import StandardScaler
+
+
+def test_transform_zero_mean_unit_std():
+    rng = np.random.default_rng(0)
+    features = rng.normal(5.0, 3.0, size=(500, 4))
+    scaler = StandardScaler.fit(features)
+    scaled = scaler.transform(features)
+    np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+    np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+
+def test_constant_feature_maps_to_zero():
+    features = np.column_stack([np.full(10, 7.0), np.arange(10.0)])
+    scaler = StandardScaler.fit(features)
+    scaled = scaler.transform(features)
+    np.testing.assert_allclose(scaled[:, 0], 0.0)
+
+
+def test_transform_new_data_uses_fit_statistics():
+    train = np.zeros((4, 1)) + np.array([[0.0], [2.0], [0.0], [2.0]])
+    scaler = StandardScaler.fit(train)
+    out = scaler.transform(np.array([[1.0]]))
+    assert out[0, 0] == 0.0  # (1 - mean 1) / std 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 3000))
+def test_transform_is_affine_invertible(seed):
+    rng = np.random.default_rng(seed)
+    features = rng.normal(size=(30, 3)) * rng.uniform(0.5, 10)
+    scaler = StandardScaler.fit(features)
+    recovered = scaler.transform(features) * scaler.scale + scaler.mean
+    np.testing.assert_allclose(recovered, features, rtol=1e-10, atol=1e-10)

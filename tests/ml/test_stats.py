@@ -1,0 +1,134 @@
+"""Statistical comparison utilities: McNemar, bootstrap CIs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.metrics import accuracy, roc_auc
+from repro.ml.stats import bootstrap_metric_ci, mcnemar_test
+
+
+def test_mcnemar_identical_predictions():
+    y = np.array([0, 1, 0, 1])
+    result = mcnemar_test(y, y, y)
+    assert result.p_value == 1.0
+    assert not result.significant
+
+
+def test_mcnemar_counts_disagreements():
+    y = np.zeros(10, dtype=int)
+    a = y.copy()
+    b = y.copy()
+    b[:3] = 1  # b wrong on 3 that a gets right
+    result = mcnemar_test(y, a, b)
+    assert result.b == 3
+    assert result.c == 0
+
+
+def test_mcnemar_large_asymmetry_significant():
+    rng = np.random.default_rng(0)
+    y = rng.integers(0, 2, 400)
+    good = y.copy()
+    wrong = rng.random(400) < 0.05
+    good[wrong] = 1 - good[wrong]
+    bad = y.copy()
+    wrong = rng.random(400) < 0.35
+    bad[wrong] = 1 - bad[wrong]
+    result = mcnemar_test(y, good, bad)
+    assert result.significant
+
+
+def test_mcnemar_symmetric_disagreement_not_significant():
+    y = np.zeros(100, dtype=int)
+    a = y.copy()
+    b = y.copy()
+    a[:10] = 1
+    b[10:20] = 1
+    result = mcnemar_test(y, a, b)
+    assert result.b == result.c == 10
+    assert not result.significant
+
+
+def test_mcnemar_exact_small_sample():
+    y = np.zeros(8, dtype=int)
+    a = y.copy()
+    b = y.copy()
+    b[:2] = 1
+    result = mcnemar_test(y, a, b)
+    assert 0.0 < result.p_value <= 1.0
+
+
+def test_mcnemar_shape_mismatch():
+    with pytest.raises(ValueError):
+        mcnemar_test(np.zeros(3), np.zeros(3), np.zeros(4))
+
+
+def test_bootstrap_ci_contains_point():
+    rng = np.random.default_rng(1)
+    y = rng.integers(0, 2, 300)
+    y[0], y[1] = 0, 1
+    scores = y + rng.normal(0, 0.8, 300)
+    ci = bootstrap_metric_ci(roc_auc, y, scores, n_resamples=200, seed=2)
+    assert ci.low <= ci.point <= ci.high
+    assert 0.0 <= ci.low <= ci.high <= 1.0
+
+
+def test_bootstrap_ci_narrows_with_more_data():
+    rng = np.random.default_rng(3)
+
+    def ci_width(n):
+        y = rng.integers(0, 2, n)
+        y[0], y[1] = 0, 1
+        scores = y + rng.normal(0, 0.8, n)
+        ci = bootstrap_metric_ci(roc_auc, y, scores, n_resamples=200, seed=4)
+        return ci.high - ci.low
+
+    assert ci_width(2000) < ci_width(60)
+
+
+def test_bootstrap_grouped_respects_applications():
+    """Group resampling must produce wider intervals than IID resampling
+    when windows within an app are perfectly correlated."""
+    rng = np.random.default_rng(5)
+    n_apps, windows = 30, 20
+    app_effect = rng.normal(0, 1.0, n_apps)
+    labels = np.repeat(rng.integers(0, 2, n_apps), windows)
+    groups = np.repeat(np.arange(n_apps), windows)
+    scores = labels + np.repeat(app_effect, windows)
+    iid = bootstrap_metric_ci(roc_auc, labels, scores, n_resamples=200, seed=6)
+    grouped = bootstrap_metric_ci(
+        roc_auc, labels, scores, groups=groups, n_resamples=200, seed=6
+    )
+    assert (grouped.high - grouped.low) >= (iid.high - iid.low)
+
+
+def test_bootstrap_ci_accuracy_metric():
+    y = np.array([0, 1] * 50)
+    pred = y.copy()
+    pred[:10] = 1 - pred[:10]
+    ci = bootstrap_metric_ci(accuracy, y, pred, n_resamples=100, seed=7)
+    assert ci.point == pytest.approx(0.9)
+
+
+def test_bootstrap_validates_confidence():
+    y = np.array([0, 1, 0, 1])
+    with pytest.raises(ValueError):
+        bootstrap_metric_ci(accuracy, y, y, confidence=1.5)
+
+
+def test_bootstrap_str_format():
+    y = np.array([0, 1] * 20)
+    ci = bootstrap_metric_ci(accuracy, y, y, n_resamples=50)
+    assert "95% CI" in str(ci)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 1000))
+def test_mcnemar_p_value_valid(seed):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, 60)
+    a = rng.integers(0, 2, 60)
+    b = rng.integers(0, 2, 60)
+    result = mcnemar_test(y, a, b)
+    assert 0.0 <= result.p_value <= 1.0

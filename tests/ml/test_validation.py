@@ -1,0 +1,93 @@
+"""Train/test protocols: application-level split, k-fold, leakage split."""
+
+import numpy as np
+import pytest
+
+from repro.ml.validation import app_level_kfold, app_level_split, sample_level_split
+from repro.workloads.dataset import BENIGN, MALWARE
+
+
+def test_app_split_no_app_overlap(small_corpus):
+    split = app_level_split(small_corpus, 0.7, seed=0)
+    assert not set(split.train_apps) & set(split.test_apps)
+
+
+def test_app_split_covers_all_apps(small_corpus):
+    split = app_level_split(small_corpus, 0.7, seed=0)
+    assert set(split.train_apps) | set(split.test_apps) == set(
+        int(a) for a in np.unique(small_corpus.app_ids)
+    )
+
+
+def test_app_split_stratified_by_class(small_corpus):
+    split = app_level_split(small_corpus, 0.7, seed=0)
+    train_labels = [small_corpus.app_label(a) for a in split.train_apps]
+    benign = sum(1 for lab in train_labels if lab == BENIGN)
+    malware = sum(1 for lab in train_labels if lab == MALWARE)
+    assert abs(benign - malware) <= 5
+
+
+def test_app_split_fraction_respected(small_corpus):
+    split = app_level_split(small_corpus, 0.7, seed=0)
+    frac = len(split.train_apps) / small_corpus.n_apps
+    assert 0.65 < frac < 0.75
+
+
+def test_app_split_samples_follow_apps(small_corpus):
+    split = app_level_split(small_corpus, 0.7, seed=0)
+    assert set(np.unique(split.train.app_ids)) == set(split.train_apps)
+    assert set(np.unique(split.test.app_ids)) == set(split.test_apps)
+
+
+def test_app_split_seed_changes_assignment(small_corpus):
+    a = app_level_split(small_corpus, 0.7, seed=0)
+    b = app_level_split(small_corpus, 0.7, seed=1)
+    assert a.train_apps != b.train_apps
+
+
+def test_app_split_deterministic(small_corpus):
+    a = app_level_split(small_corpus, 0.7, seed=3)
+    b = app_level_split(small_corpus, 0.7, seed=3)
+    assert a.train_apps == b.train_apps
+
+
+def test_app_split_invalid_fraction(small_corpus):
+    with pytest.raises(ValueError):
+        app_level_split(small_corpus, 1.0)
+
+
+def test_sample_split_sizes(small_corpus):
+    split = sample_level_split(small_corpus, 0.7, seed=0)
+    assert split.train.n_samples + split.test.n_samples == small_corpus.n_samples
+    frac = split.train.n_samples / small_corpus.n_samples
+    assert 0.68 < frac < 0.72
+
+
+def test_sample_split_leaks_applications(small_corpus):
+    """The leakage the paper's protocol avoids: same app on both sides."""
+    split = sample_level_split(small_corpus, 0.7, seed=0)
+    assert set(split.train_apps) & set(split.test_apps)
+
+
+def test_kfold_test_sets_partition_apps(small_corpus):
+    folds = app_level_kfold(small_corpus, n_folds=4, seed=0)
+    seen: list[int] = []
+    for fold in folds:
+        seen.extend(fold.test_apps)
+    assert sorted(seen) == sorted(int(a) for a in np.unique(small_corpus.app_ids))
+
+
+def test_kfold_train_test_disjoint(small_corpus):
+    for fold in app_level_kfold(small_corpus, n_folds=3, seed=1):
+        assert not set(fold.train_apps) & set(fold.test_apps)
+
+
+def test_kfold_rejects_single_fold(small_corpus):
+    with pytest.raises(ValueError):
+        app_level_kfold(small_corpus, n_folds=1)
+
+
+def test_kfold_both_classes_in_every_fold(small_corpus):
+    for fold in app_level_kfold(small_corpus, n_folds=4, seed=2):
+        labels = {small_corpus.app_label(a) for a in fold.test_apps}
+        assert labels == {BENIGN, MALWARE}

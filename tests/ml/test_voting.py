@@ -1,0 +1,90 @@
+"""Heterogeneous voting ensemble."""
+
+import numpy as np
+import pytest
+
+from repro.ml import SGD, BayesNet, J48, OneR, REPTree, VotingEnsemble, accuracy
+from tests.conftest import train_test
+
+
+def _committee():
+    return [BayesNet(), J48(), REPTree(), OneR()]
+
+
+def test_soft_vote_aces_separable(blobs):
+    xtr, ytr, xte, yte = train_test(*blobs)
+    model = VotingEnsemble(_committee()).fit(xtr, ytr)
+    assert accuracy(yte, model.predict(xte)) > 0.93
+
+
+def test_hard_vote_mode(blobs):
+    xtr, ytr, xte, yte = train_test(*blobs)
+    model = VotingEnsemble(_committee(), voting="hard").fit(xtr, ytr)
+    assert accuracy(yte, model.predict(xte)) > 0.9
+
+
+def test_committee_beats_its_weakest_member(xor_data):
+    xtr, ytr, xte, yte = train_test(*xor_data)
+    members = [SGD(epochs=20), J48(), REPTree()]
+    committee = VotingEnsemble([m.clone() for m in members]).fit(xtr, ytr)
+    weakest = min(
+        accuracy(yte, m.clone().fit(xtr, ytr).predict(xte)) for m in members
+    )
+    assert accuracy(yte, committee.predict(xte)) > weakest
+
+
+def test_uniform_weights_by_default(blobs):
+    features, labels = blobs
+    model = VotingEnsemble(_committee()).fit(features, labels)
+    np.testing.assert_allclose(model.member_weights, 0.25)
+
+
+def test_explicit_weights_normalized(blobs):
+    features, labels = blobs
+    model = VotingEnsemble([J48(), OneR()], weights=[3.0, 1.0]).fit(features, labels)
+    np.testing.assert_allclose(model.member_weights, [0.75, 0.25])
+
+
+def test_oob_weighting_downweights_weak_member(xor_data):
+    """On XOR, the linear member is near chance; OOB weighting must give
+    it (much) less say than the trees."""
+    features, labels = xor_data
+    model = VotingEnsemble(
+        [SGD(epochs=20), J48(), REPTree()], holdout_fraction=0.25, seed=1
+    ).fit(features, labels)
+    weights = model.member_weights
+    assert weights[0] < weights[1]
+    assert weights[0] < weights[2]
+
+
+def test_validation_errors():
+    with pytest.raises(ValueError):
+        VotingEnsemble([])
+    with pytest.raises(ValueError):
+        VotingEnsemble([OneR()], voting="ranked")
+    with pytest.raises(ValueError):
+        VotingEnsemble([OneR()], weights=[1.0, 2.0])
+    with pytest.raises(ValueError):
+        VotingEnsemble([OneR()], holdout_fraction=0.95)
+
+
+def test_negative_weights_rejected(blobs):
+    features, labels = blobs
+    with pytest.raises(ValueError):
+        VotingEnsemble([J48(), OneR()], weights=[1.0, -1.0]).fit(features, labels)
+
+
+def test_clone_clones_members(blobs):
+    model = VotingEnsemble(_committee(), voting="hard")
+    cloned = model.clone()
+    assert cloned.voting == "hard"
+    assert len(cloned.members) == 4
+    assert all(a is not b for a, b in zip(cloned.members, model.members))
+
+
+def test_probabilities_valid(blobs):
+    xtr, ytr, xte, yte = train_test(*blobs)
+    model = VotingEnsemble(_committee()).fit(xtr, ytr)
+    proba = model.predict_proba(xte)
+    np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+    assert np.all(proba >= 0)

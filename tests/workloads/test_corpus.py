@@ -1,0 +1,111 @@
+"""Corpus builder: family instantiation, collection, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.events import ALL_EVENTS
+from repro.hpc.microarch import PhaseMix, PhaseParameters
+from repro.workloads.corpus import CorpusBuilder, FamilySpec
+from repro.workloads.dataset import BENIGN, MALWARE
+
+
+def _family(name="fam", label=BENIGN, n_apps=3):
+    return FamilySpec(
+        name=name,
+        label=label,
+        n_apps=n_apps,
+        phases=[PhaseMix(PhaseParameters(), 1.0)],
+    )
+
+
+def test_family_rejects_bad_label():
+    with pytest.raises(ValueError):
+        FamilySpec(name="x", label=7, n_apps=1,
+                   phases=[PhaseMix(PhaseParameters(), 1.0)])
+
+
+def test_family_rejects_zero_apps():
+    with pytest.raises(ValueError):
+        FamilySpec(name="x", label=BENIGN, n_apps=0,
+                   phases=[PhaseMix(PhaseParameters(), 1.0)])
+
+
+def test_family_rejects_empty_phases():
+    with pytest.raises(ValueError):
+        FamilySpec(name="x", label=BENIGN, n_apps=1, phases=[])
+
+
+def test_instantiate_produces_named_apps():
+    apps = _family().instantiate(np.random.default_rng(0))
+    assert [a.name for a in apps] == ["fam_00", "fam_01", "fam_02"]
+
+
+def test_instantiated_apps_differ_within_family():
+    apps = _family().instantiate(np.random.default_rng(0))
+    p0 = apps[0].phases[0].params
+    p1 = apps[1].phases[0].params
+    assert p0.ipc != p1.ipc
+
+
+def test_builder_rejects_empty_families():
+    with pytest.raises(ValueError):
+        CorpusBuilder(families=[])
+
+
+def test_builder_rejects_bad_collection_mode():
+    with pytest.raises(ValueError):
+        CorpusBuilder(families=[_family()], collection="magic")
+
+
+def test_builder_rejects_zero_windows():
+    with pytest.raises(ValueError):
+        CorpusBuilder(families=[_family()], windows_per_app=0)
+
+
+def test_build_shapes_and_labels():
+    builder = CorpusBuilder(
+        families=[_family("good", BENIGN, 2), _family("evil", MALWARE, 3)],
+        windows_per_app=4,
+    )
+    ds = builder.build()
+    assert ds.n_samples == 5 * 4
+    assert ds.n_apps == 5
+    assert ds.feature_names == ALL_EVENTS
+    assert ds.class_counts() == {"benign": 8, "malware": 12}
+
+
+def test_build_family_provenance():
+    builder = CorpusBuilder(
+        families=[_family("good", BENIGN, 1), _family("evil", MALWARE, 1)],
+        windows_per_app=2,
+    )
+    ds = builder.build()
+    assert ds.app_families == ("good", "evil")
+
+
+def test_build_deterministic():
+    families = [_family("good", BENIGN, 2), _family("evil", MALWARE, 2)]
+    a = CorpusBuilder(families, seed=5, windows_per_app=3).build()
+    b = CorpusBuilder(families, seed=5, windows_per_app=3).build()
+    np.testing.assert_allclose(a.features, b.features)
+
+
+def test_build_seed_changes_data():
+    families = [_family("good", BENIGN, 2)]
+    a = CorpusBuilder(families, seed=5, windows_per_app=3).build()
+    b = CorpusBuilder(families, seed=6, windows_per_app=3).build()
+    assert not np.allclose(a.features, b.features)
+
+
+def test_build_event_subset():
+    builder = CorpusBuilder([_family()], windows_per_app=2)
+    ds = builder.build(events=("cpu_cycles", "branch_instructions"))
+    assert ds.feature_names == ("cpu_cycles", "branch_instructions")
+    assert ds.n_features == 2
+
+
+def test_multiplexed_collection_mode():
+    builder = CorpusBuilder([_family()], windows_per_app=15, collection="multiplexed")
+    ds = builder.build(events=tuple(ALL_EVENTS[:8]))
+    assert ds.n_samples == 45
+    assert np.all(np.isfinite(ds.features))

@@ -1,0 +1,172 @@
+"""Dataset container: validation, projection, provenance, persistence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.dataset import BENIGN, MALWARE, Dataset, concatenate
+
+
+def _dataset(n_apps=4, windows=3, n_features=5):
+    rng = np.random.default_rng(0)
+    features = rng.uniform(0, 100, size=(n_apps * windows, n_features))
+    labels = np.repeat([i % 2 for i in range(n_apps)], windows).astype(np.intp)
+    app_ids = np.repeat(np.arange(n_apps), windows)
+    return Dataset(
+        features=features,
+        labels=labels,
+        feature_names=tuple(f"e{i}" for i in range(n_features)),
+        app_ids=app_ids,
+        app_names=tuple(f"app{i}" for i in range(n_apps)),
+        app_families=tuple("fam_even" if i % 2 == 0 else "fam_odd" for i in range(n_apps)),
+    )
+
+
+def test_basic_properties():
+    ds = _dataset()
+    assert ds.n_samples == 12
+    assert ds.n_features == 5
+    assert ds.n_apps == 4
+
+
+def test_misaligned_labels_rejected():
+    ds = _dataset()
+    with pytest.raises(ValueError):
+        Dataset(ds.features, ds.labels[:-1], ds.feature_names, ds.app_ids,
+                ds.app_names, ds.app_families)
+
+
+def test_misaligned_app_ids_rejected():
+    ds = _dataset()
+    with pytest.raises(ValueError):
+        Dataset(ds.features, ds.labels, ds.feature_names, ds.app_ids[:-1],
+                ds.app_names, ds.app_families)
+
+
+def test_unknown_app_reference_rejected():
+    ds = _dataset()
+    bad_ids = ds.app_ids.copy()
+    bad_ids[0] = 99
+    with pytest.raises(ValueError):
+        Dataset(ds.features, ds.labels, ds.feature_names, bad_ids,
+                ds.app_names, ds.app_families)
+
+
+def test_nonbinary_labels_rejected():
+    ds = _dataset()
+    bad = ds.labels.copy()
+    bad[0] = 3
+    with pytest.raises(ValueError):
+        Dataset(ds.features, bad, ds.feature_names, ds.app_ids,
+                ds.app_names, ds.app_families)
+
+
+def test_feature_name_mismatch_rejected():
+    ds = _dataset()
+    with pytest.raises(ValueError):
+        Dataset(ds.features, ds.labels, ("only", "two"), ds.app_ids,
+                ds.app_names, ds.app_families)
+
+
+def test_app_label_constant_per_app():
+    ds = _dataset()
+    assert ds.app_label(0) == BENIGN
+    assert ds.app_label(1) == MALWARE
+
+
+def test_app_label_unknown_app():
+    ds = _dataset()
+    with pytest.raises(KeyError):
+        ds.app_label(77)
+
+
+def test_select_features_projects_and_orders():
+    ds = _dataset()
+    sub = ds.select_features(["e3", "e0"])
+    assert sub.feature_names == ("e3", "e0")
+    np.testing.assert_allclose(sub.features[:, 0], ds.features[:, 3])
+    np.testing.assert_allclose(sub.features[:, 1], ds.features[:, 0])
+
+
+def test_select_features_unknown_name():
+    with pytest.raises(KeyError):
+        _dataset().select_features(["nope"])
+
+
+def test_select_apps_filters_rows():
+    ds = _dataset()
+    sub = ds.select_apps([1, 3])
+    assert sub.n_samples == 6
+    assert set(np.unique(sub.app_ids)) == {1, 3}
+
+
+def test_class_counts():
+    counts = _dataset().class_counts()
+    assert counts == {"benign": 6, "malware": 6}
+
+
+def test_summary_mentions_sizes():
+    text = _dataset().summary()
+    assert "12 samples" in text
+    assert "4 applications" in text
+
+
+def test_csv_round_trip(tmp_path):
+    ds = _dataset()
+    path = tmp_path / "corpus.csv"
+    ds.to_csv(path)
+    loaded = Dataset.from_csv(path)
+    np.testing.assert_allclose(loaded.features, ds.features)
+    np.testing.assert_array_equal(loaded.labels, ds.labels)
+    assert loaded.feature_names == ds.feature_names
+    assert loaded.app_names == ds.app_names
+    assert loaded.app_families == ds.app_families
+
+
+def test_from_csv_rejects_foreign_file(tmp_path):
+    path = tmp_path / "other.csv"
+    path.write_text("a,b,c\n1,2,3\n")
+    with pytest.raises(ValueError):
+        Dataset.from_csv(path)
+
+
+def test_arff_export(tmp_path):
+    ds = _dataset()
+    path = tmp_path / "corpus.arff"
+    ds.to_arff(path, relation="unit_test")
+    text = path.read_text()
+    assert "@RELATION unit_test" in text
+    assert "@ATTRIBUTE e0 NUMERIC" in text
+    assert "@ATTRIBUTE class {benign,malware}" in text
+    assert text.count("\n") >= ds.n_samples
+
+
+def test_concatenate_renumbers_apps():
+    a, b = _dataset(), _dataset()
+    merged = concatenate([a, b])
+    assert merged.n_apps == 8
+    assert merged.n_samples == 24
+    assert merged.app_label(4) == BENIGN
+
+
+def test_concatenate_rejects_mismatched_features():
+    a = _dataset()
+    b = _dataset(n_features=3)
+    with pytest.raises(ValueError):
+        concatenate([a, b])
+
+
+def test_concatenate_empty_rejected():
+    with pytest.raises(ValueError):
+        concatenate([])
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_apps=st.integers(2, 6), windows=st.integers(1, 5))
+def test_select_apps_preserves_labels(n_apps, windows):
+    ds = _dataset(n_apps=n_apps, windows=windows)
+    keep = list(range(0, n_apps, 2))
+    sub = ds.select_apps(keep)
+    for app in keep:
+        assert sub.app_label(app) == ds.app_label(app)

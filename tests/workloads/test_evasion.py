@@ -1,0 +1,108 @@
+"""Evasive malware variants."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.workloads.dataset import MALWARE
+from repro.workloads.evasion import (
+    blend_phases,
+    evasive_families,
+    evasive_variant,
+    payload_throughput,
+)
+from repro.workloads.malware import MALWARE_FAMILIES
+from repro.workloads.phases import branchy_phase, network_loop_phase
+
+
+def test_blend_zero_is_identity():
+    payload = network_loop_phase(1.2)
+    blended = blend_phases(payload, branchy_phase(), 0.0)
+    for field in dataclasses.fields(payload):
+        assert getattr(blended, field.name) == pytest.approx(
+            getattr(payload, field.name)
+        )
+
+
+def test_blend_one_is_cover():
+    cover = branchy_phase()
+    blended = blend_phases(network_loop_phase(1.2), cover, 1.0)
+    for field in dataclasses.fields(cover):
+        assert getattr(blended, field.name) == pytest.approx(
+            getattr(cover, field.name)
+        )
+
+
+def test_blend_monotone_between_endpoints():
+    payload = network_loop_phase(1.2)
+    cover = branchy_phase()
+    mid = blend_phases(payload, cover, 0.5)
+    low, high = sorted([payload.branch_ratio, cover.branch_ratio])
+    assert low <= mid.branch_ratio <= high
+
+
+def test_blend_validates_strength():
+    with pytest.raises(ValueError):
+        blend_phases(network_loop_phase(), branchy_phase(), 1.5)
+
+
+def test_evasive_variant_renames_family():
+    flooder = MALWARE_FAMILIES[0]
+    evasive = evasive_variant(flooder, 0.5)
+    assert evasive.name == f"{flooder.name}_evasive50"
+    assert evasive.label == MALWARE
+    assert "evasion strength 50%" in evasive.description
+
+
+def test_evasive_variant_preserves_structure():
+    family = MALWARE_FAMILIES[2]
+    evasive = evasive_variant(family, 0.3)
+    assert len(evasive.phases) == len(family.phases)
+    assert evasive.n_apps == family.n_apps
+    for orig, moved in zip(family.phases, evasive.phases):
+        assert moved.weight == orig.weight
+
+
+def test_evasive_families_covers_all():
+    evaded = evasive_families(MALWARE_FAMILIES, 0.4)
+    assert len(evaded) == len(MALWARE_FAMILIES)
+    assert all(f.name.endswith("_evasive40") for f in evaded)
+
+
+def test_stronger_evasion_closer_to_cover():
+    cover = branchy_phase()
+    family = MALWARE_FAMILIES[0]  # flooder, branch-dense
+    weak = evasive_variant(family, 0.2, cover).phases[0].params
+    strong = evasive_variant(family, 0.8, cover).phases[0].params
+    target = cover.branch_ratio
+    assert abs(strong.branch_ratio - target) < abs(weak.branch_ratio - target)
+
+
+def test_payload_throughput_tradeoff():
+    assert payload_throughput(0.0) == 1.0
+    assert payload_throughput(1.0) == 0.0
+    assert payload_throughput(0.3) == pytest.approx(0.7)
+    with pytest.raises(ValueError):
+        payload_throughput(-0.1)
+
+
+def test_evasion_degrades_detection(small_corpus):
+    """End-to-end: a detector trained on honest malware loses accuracy
+    against strongly evasive variants of the same families."""
+    from repro.core import DetectorConfig, HMDDetector
+    from repro.ml import app_level_split
+    from repro.workloads.benign import BENIGN_FAMILIES
+    from repro.workloads.corpus import CorpusBuilder
+
+    split = app_level_split(small_corpus, 0.7, seed=7)
+    detector = HMDDetector(DetectorConfig("REPTree", "general", 8)).fit(split.train)
+
+    def malware_recall(strength):
+        families = BENIGN_FAMILIES + evasive_families(MALWARE_FAMILIES, strength)
+        corpus = CorpusBuilder(families, seed=99, windows_per_app=8).build()
+        malware_rows = corpus.labels == 1
+        flags = detector.predict(corpus)
+        return flags[malware_rows].mean()
+
+    assert malware_recall(0.0) > malware_recall(0.8) + 0.1

@@ -1,0 +1,128 @@
+"""The shipped benign/malware family definitions and phase archetypes."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.hpc.microarch import PhaseParameters
+from repro.workloads.benign import BENIGN_FAMILIES
+from repro.workloads.dataset import BENIGN, MALWARE
+from repro.workloads.malware import MALWARE_FAMILIES
+from repro.workloads.phases import (
+    beacon_idle_phase,
+    branchy_phase,
+    compute_phase,
+    crypto_phase,
+    idle_phase,
+    interpreter_phase,
+    mining_phase,
+    network_loop_phase,
+    pointer_chasing_phase,
+    scanning_phase,
+    store_heavy_phase,
+    streaming_phase,
+    syscall_phase,
+    tinted,
+)
+
+ALL_PHASE_FACTORIES = (
+    beacon_idle_phase,
+    branchy_phase,
+    compute_phase,
+    crypto_phase,
+    idle_phase,
+    interpreter_phase,
+    mining_phase,
+    network_loop_phase,
+    pointer_chasing_phase,
+    scanning_phase,
+    store_heavy_phase,
+    streaming_phase,
+    syscall_phase,
+)
+
+
+def test_benign_families_all_benign():
+    assert all(f.label == BENIGN for f in BENIGN_FAMILIES)
+
+
+def test_malware_families_all_malware():
+    assert all(f.label == MALWARE for f in MALWARE_FAMILIES)
+
+
+def test_corpus_exceeds_100_applications():
+    """The paper executes 'more than 100' applications."""
+    total = sum(f.n_apps for f in BENIGN_FAMILIES + MALWARE_FAMILIES)
+    assert total > 100
+
+
+def test_classes_roughly_balanced():
+    benign = sum(f.n_apps for f in BENIGN_FAMILIES)
+    malware = sum(f.n_apps for f in MALWARE_FAMILIES)
+    assert 0.8 < benign / malware < 1.25
+
+
+def test_family_names_unique():
+    names = [f.name for f in BENIGN_FAMILIES + MALWARE_FAMILIES]
+    assert len(names) == len(set(names))
+
+
+def test_all_families_have_descriptions():
+    assert all(f.description for f in BENIGN_FAMILIES + MALWARE_FAMILIES)
+
+
+def test_malware_covers_script_payloads():
+    """VirusTotal corpus had ELF + python/perl/bash payloads."""
+    names = {f.name for f in MALWARE_FAMILIES}
+    assert any("python" in n for n in names)
+    assert any("shell" in n for n in names)
+
+
+@pytest.mark.parametrize("factory", ALL_PHASE_FACTORIES, ids=lambda f: f.__name__)
+def test_phase_rates_in_physical_range(factory):
+    params = factory()
+    for field in dataclasses.fields(params):
+        value = getattr(params, field.name)
+        ceiling = 4.0 if field.name in ("ipc", "prefetch_intensity") else 1.0
+        assert 0 < value <= ceiling, f"{field.name}={value}"
+
+
+def test_tinted_scales_named_field():
+    base = syscall_phase()
+    shifted = tinted(base, itlb_miss_rate=2.0)
+    assert shifted.itlb_miss_rate == pytest.approx(2.0 * base.itlb_miss_rate)
+    assert shifted.branch_ratio == base.branch_ratio
+
+
+def test_tinted_clips_to_physical_range():
+    base = branchy_phase()
+    shifted = tinted(base, branch_ratio=100.0)
+    assert shifted.branch_ratio == 1.0
+
+
+def test_tinted_rejects_unknown_field():
+    with pytest.raises(AttributeError):
+        tinted(compute_phase(), not_a_rate=2.0)
+
+
+def test_mining_phase_thrashes_llc_unlike_crypto():
+    assert mining_phase().llc_miss_rate > 3 * crypto_phase().llc_miss_rate
+
+
+def test_beacon_idle_busier_than_idle():
+    assert beacon_idle_phase().utilization > idle_phase().utilization
+
+
+def test_interpreter_phase_is_branch_dense():
+    assert interpreter_phase().branch_ratio > compute_phase().branch_ratio
+
+
+def test_family_instantiation_smoke():
+    rng = np.random.default_rng(0)
+    for family in BENIGN_FAMILIES + MALWARE_FAMILIES:
+        apps = family.instantiate(rng)
+        assert len(apps) == family.n_apps
+        trace = apps[0].execute(3, np.random.default_rng(1))
+        assert trace.shape == (3, 44)
+        assert np.all(np.isfinite(trace))

@@ -1,0 +1,100 @@
+"""Co-running interference model."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.events import ALL_EVENTS
+from repro.hpc.microarch import ApplicationBehavior, PhaseMix, PhaseParameters
+from repro.workloads.interference import InterferenceModel, perturb_dataset_features
+
+
+def _trace(n=10, seed=0):
+    app = ApplicationBehavior("x", [PhaseMix(PhaseParameters(), 1.0)])
+    return app.execute(n, np.random.default_rng(seed))
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        InterferenceModel(memory_intensity=1.5)
+    with pytest.raises(ValueError):
+        InterferenceModel(timeslice_bleed=0.9)
+
+
+def test_zero_interference_is_nearly_identity():
+    model = InterferenceModel(memory_intensity=0.0, timeslice_bleed=0.0)
+    trace = _trace()
+    out = model.apply(trace, _trace(seed=1))
+    np.testing.assert_allclose(out, trace, rtol=0.15)  # only small jitter
+
+
+def test_contention_inflates_miss_events():
+    model = InterferenceModel(memory_intensity=1.0, timeslice_bleed=0.0, seed=2)
+    trace = _trace(50)
+    out = model.apply(trace, _trace(50, seed=3))
+    miss_col = ALL_EVENTS.index("LLC_load_misses")
+    branch_col = ALL_EVENTS.index("branch_instructions")
+    miss_ratio = out[:, miss_col].mean() / trace[:, miss_col].mean()
+    branch_ratio = out[:, branch_col].mean() / trace[:, branch_col].mean()
+    assert miss_ratio > 1.7  # roughly doubled
+    assert 0.9 < branch_ratio < 1.1  # core-private events untouched
+
+
+def test_contention_factor_classification():
+    model = InterferenceModel(memory_intensity=0.5)
+    assert model.contention_factor("dTLB_load_misses") == pytest.approx(1.5)
+    assert model.contention_factor("cache_misses") == pytest.approx(1.5)
+    assert model.contention_factor("branch_instructions") == 1.0
+    assert model.contention_factor("cpu_cycles") == 1.0
+
+
+def test_timeslice_bleed_adds_neighbour_counts():
+    model = InterferenceModel(memory_intensity=0.0, timeslice_bleed=0.2, seed=4)
+    trace = np.zeros((5, 44))
+    neighbour = np.full((5, 44), 100.0)
+    out = model.apply(trace, neighbour)
+    np.testing.assert_allclose(out, 20.0, rtol=1e-6)
+
+
+def test_short_neighbour_is_cycled():
+    model = InterferenceModel(timeslice_bleed=0.1, memory_intensity=0.0, seed=5)
+    out = model.apply(_trace(10), _trace(3, seed=6))
+    assert out.shape == (10, 44)
+
+
+def test_mismatched_columns_rejected():
+    model = InterferenceModel()
+    with pytest.raises(ValueError):
+        model.apply(_trace(3), np.ones((3, 10)))
+
+
+def test_perturb_dataset_features_shape(small_corpus):
+    model = InterferenceModel(memory_intensity=0.4, timeslice_bleed=0.1)
+    neighbour = _trace(30, seed=7)
+    out = perturb_dataset_features(
+        small_corpus.features, small_corpus.feature_names, model, neighbour
+    )
+    assert out.shape == small_corpus.features.shape
+    assert np.all(out >= 0)
+
+
+def test_interference_degrades_detection(small_split):
+    """A detector trained clean loses accuracy under heavy interference
+    — the deployment-robustness motivation for modelling this at all."""
+    from repro.core import DetectorConfig, HMDDetector
+    from repro.ml import accuracy
+
+    detector = HMDDetector(DetectorConfig("J48", "general", 8)).fit(small_split.train)
+    clean_acc = detector.evaluate(small_split.test).accuracy
+    heavy = InterferenceModel(memory_intensity=1.0, timeslice_bleed=0.4, seed=8)
+    neighbour = _trace(50, seed=9)
+    noisy_features = perturb_dataset_features(
+        small_split.test.features, small_split.test.feature_names, heavy, neighbour
+    )
+    reduced_cols = [
+        small_split.test.feature_names.index(e) for e in detector.monitored_events
+    ]
+    noisy_acc = accuracy(
+        small_split.test.labels,
+        detector.model.predict(noisy_features[:, reduced_cols]),
+    )
+    assert noisy_acc < clean_acc
