@@ -9,12 +9,14 @@ recompute (e.g. after changing the workload model).
 
 from __future__ import annotations
 
-import json
+import os
 from pathlib import Path
 
 import pytest
 
-from repro.analysis.matrix import MatrixRunner, load_records, paper_grid, save_records, table3_grid
+from repro.analysis.cache import ResultCache
+from repro.analysis.matrix import load_records, paper_grid, save_records, table3_grid
+from repro.analysis.parallel import ParallelMatrixRunner
 from repro.core.config import DetectorConfig
 from repro.features import rank_features
 from repro.ml.validation import app_level_split
@@ -56,8 +58,19 @@ def ranking(split):
 
 
 @pytest.fixture(scope="session")
-def runner(corpus):
-    return MatrixRunner(corpus, train_fraction=0.7, seeds=(SPLIT_SEED,))
+def result_cache():
+    """Per-record crash-safe cache: an interrupted grid run resumes."""
+    return ResultCache(CACHE_DIR / f"{CACHE_VERSION}_records")
+
+
+@pytest.fixture(scope="session")
+def runner(corpus, result_cache):
+    """Parallel, cache-backed grid runner (REPRO_BENCH_WORKERS overrides)."""
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "0")) or None
+    return ParallelMatrixRunner(
+        corpus, train_fraction=0.7, seeds=(SPLIT_SEED,),
+        workers=workers, cache=result_cache,
+    )
 
 
 def _cached(name: str, compute):

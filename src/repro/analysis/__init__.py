@@ -1,17 +1,28 @@
 """Evaluation matrix runners and table/figure renderers (paper §4)."""
 
+from repro.analysis.cache import (
+    CacheError,
+    CacheStats,
+    ResultCache,
+    atomic_write_text,
+    dataset_fingerprint,
+    record_cache_key,
+)
 from repro.analysis.crossval import (
     CrossValRecord,
     cross_validated_record,
+    sample_std,
     stability_table,
 )
 from repro.analysis.matrix import (
     MatrixRunner,
+    MatrixTiming,
     load_records,
     paper_grid,
     save_records,
     table3_grid,
 )
+from repro.analysis.parallel import ParallelMatrixRunner, make_matrix_runner
 from repro.analysis.pareto import (
     DesignPoint,
     join_records,
@@ -29,30 +40,42 @@ from repro.analysis.report import (
     table1_table,
     table2_table,
     table3_table,
+    timing_table,
 )
 
 __all__ = [
+    "CacheError",
+    "CacheStats",
     "CrossValRecord",
     "DesignPoint",
     "EvalRecord",
     "HardwareRecord",
     "MatrixRunner",
+    "MatrixTiming",
+    "ParallelMatrixRunner",
+    "ResultCache",
     "RocRecord",
+    "atomic_write_text",
+    "dataset_fingerprint",
     "figure3_table",
     "figure4_report",
     "figure5_table",
     "improvement_summary",
     "join_records",
     "load_records",
+    "make_matrix_runner",
     "pareto_front",
     "pareto_table",
     "recommend_counters",
     "paper_grid",
+    "record_cache_key",
     "roc_ascii",
     "cross_validated_record",
+    "sample_std",
     "save_records",
     "stability_table",
     "table1_table",
     "table2_table",
     "table3_table",
+    "timing_table",
 ]

@@ -49,6 +49,19 @@ class CrossValRecord:
         )
 
 
+def sample_std(values: list[float] | np.ndarray) -> float:
+    """Sample standard deviation (ddof=1); 0.0 for fewer than two values.
+
+    Fold scores are a small *sample* of the split distribution, so the
+    population formula (ddof=0) systematically understates the spread —
+    by ~10% at 5 folds.  A single fold has no spread estimate at all.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.size < 2:
+        return 0.0
+    return float(np.std(values, ddof=1))
+
+
 def cross_validated_record(
     dataset: Dataset,
     config: DetectorConfig,
@@ -66,9 +79,9 @@ def cross_validated_record(
     return CrossValRecord(
         config=config,
         accuracy_mean=float(np.mean(accuracies)),
-        accuracy_std=float(np.std(accuracies)),
+        accuracy_std=sample_std(accuracies),
         auc_mean=float(np.mean(aucs)),
-        auc_std=float(np.std(aucs)),
+        auc_std=sample_std(aucs),
         n_folds=n_folds,
     )
 

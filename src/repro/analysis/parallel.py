@@ -1,0 +1,202 @@
+"""Parallel, restartable evaluation of the paper's result grid.
+
+:class:`ParallelMatrixRunner` fans a config grid out over a
+``concurrent.futures.ProcessPoolExecutor``.  Each worker process builds
+one :class:`~repro.analysis.matrix.MatrixRunner` in its initializer, so
+the per-seed split and feature-ranking work is shared across every
+config that worker evaluates — the same sharing the serial runner does,
+just partitioned.  Every record is a pure function of (corpus, split
+protocol, config), so parallel results are bit-identical to serial ones
+regardless of scheduling; the grid methods additionally return records
+in input order.
+
+With a :class:`~repro.analysis.cache.ResultCache` attached, the parent
+process resolves cache hits before fanning out, dispatches only the
+missing cells, and writes each result back as it arrives — killing the
+run at any point loses at most the cells currently in flight.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable
+
+from repro.analysis.cache import ResultCache
+from repro.analysis.matrix import MatrixRunner, MatrixTiming
+from repro.analysis.records import EvalRecord, HardwareRecord, RocRecord
+from repro.core.config import DetectorConfig
+from repro.workloads.dataset import Dataset
+
+#: Per-worker-process runner, built once by :func:`_init_worker`.
+_WORKER_RUNNER: MatrixRunner | None = None
+
+
+def _init_worker(
+    dataset: Dataset, train_fraction: float, seeds: tuple[int, ...]
+) -> None:
+    """Build the worker's shared runner (splits computed once per worker)."""
+    global _WORKER_RUNNER
+    _WORKER_RUNNER = MatrixRunner(dataset, train_fraction=train_fraction, seeds=seeds)
+
+
+def _worker_task(task: tuple[str, DetectorConfig, dict]):
+    """Evaluate one grid cell in the worker; returns (record, timing, fits)."""
+    kind, config, kwargs = task
+    runner = _WORKER_RUNNER
+    assert runner is not None, "worker used before initialization"
+    fits_before = runner.n_fits
+    if kind == "eval":
+        record, timing = runner.timed_evaluate(config)
+    elif kind == "hardware":
+        record, timing = runner.timed_hardware(config)
+    elif kind == "roc":
+        record, timing = runner.timed_roc(config, **kwargs)
+    else:
+        raise ValueError(f"unknown record kind {kind!r}")
+    return record, timing, runner.n_fits - fits_before
+
+
+class ParallelMatrixRunner:
+    """Drop-in grid runner that trains cache-missing cells in parallel.
+
+    Args:
+        dataset: full 44-event corpus.
+        train_fraction: application-level split ratio (paper: 0.7).
+        seeds: split seeds to average over.
+        workers: worker processes; ``None`` uses the CPU count, ``1``
+            runs inline without a pool (still cache-aware).
+        cache: optional crash-safe result cache; hits are resolved in
+            the parent and never dispatched.
+        progress: per-cell :class:`MatrixTiming` callback (cache hits
+            and worker results alike), invoked in the parent process.
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        train_fraction: float = 0.7,
+        seeds: tuple[int, ...] = (7,),
+        workers: int | None = None,
+        cache: ResultCache | None = None,
+        progress: Callable[[MatrixTiming], None] | None = None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._serial = MatrixRunner(
+            dataset, train_fraction=train_fraction, seeds=seeds,
+            cache=cache, progress=progress,
+        )
+        self._worker_fits = 0
+
+    # -- shared state exposed with the serial runner's vocabulary -------
+    @property
+    def dataset(self) -> Dataset:
+        return self._serial.dataset
+
+    @property
+    def seeds(self) -> tuple[int, ...]:
+        return self._serial.seeds
+
+    @property
+    def train_fraction(self) -> float:
+        return self._serial.train_fraction
+
+    @property
+    def cache(self) -> ResultCache | None:
+        return self._serial.cache
+
+    @property
+    def timings(self) -> list[MatrixTiming]:
+        return self._serial.timings
+
+    @property
+    def n_fits(self) -> int:
+        """Detectors trained on behalf of this runner, workers included."""
+        return self._serial.n_fits + self._worker_fits
+
+    # -- single-cell API delegates to the serial runner -----------------
+    def evaluate(self, config: DetectorConfig) -> EvalRecord:
+        return self._serial.evaluate(config)
+
+    def roc(self, config: DetectorConfig, max_points: int = 200) -> RocRecord:
+        return self._serial.roc(config, max_points=max_points)
+
+    def hardware(self, config: DetectorConfig) -> HardwareRecord:
+        return self._serial.hardware(config)
+
+    # -- parallel grid API ----------------------------------------------
+    def evaluate_grid(self, configs: list[DetectorConfig]) -> list[EvalRecord]:
+        return self._run_grid(configs, "eval")
+
+    def hardware_grid(self, configs: list[DetectorConfig]) -> list[HardwareRecord]:
+        return self._run_grid(configs, "hardware")
+
+    def roc_grid(
+        self, configs: list[DetectorConfig], max_points: int = 200
+    ) -> list[RocRecord]:
+        return self._run_grid(configs, "roc", {"max_points": max_points})
+
+    def _run_grid(
+        self, configs: list[DetectorConfig], kind: str, kwargs: dict | None = None
+    ) -> list:
+        kwargs = kwargs or {}
+        serial = self._serial
+        results: list = [None] * len(configs)
+        pending: list[tuple[int, DetectorConfig]] = []
+        for i, config in enumerate(configs):
+            record = serial.cache_lookup(config, kind, kwargs or None)
+            if record is None:
+                pending.append((i, config))
+            else:
+                results[i] = record
+        if not pending:
+            return results
+        if self.workers == 1 or len(pending) == 1:
+            for i, config in pending:
+                results[i] = serial.compute_record(config, kind, **kwargs)
+            return results
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending)),
+            initializer=_init_worker,
+            initargs=(serial.dataset, serial.train_fraction, serial.seeds),
+        ) as pool:
+            futures = {
+                pool.submit(_worker_task, (kind, config, kwargs)): (i, config)
+                for i, config in pending
+            }
+            # Persist each record the moment it lands: a killed run
+            # loses only the cells still in flight.
+            for future in as_completed(futures):
+                i, config = futures[future]
+                record, timing, fits = future.result()
+                results[i] = record
+                self._worker_fits += fits
+                serial.cache_store(config, kind, record, kwargs or None)
+                serial._note(timing)
+        return results
+
+
+def make_matrix_runner(
+    dataset: Dataset,
+    train_fraction: float = 0.7,
+    seeds: tuple[int, ...] = (7,),
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    progress: Callable[[MatrixTiming], None] | None = None,
+) -> MatrixRunner | ParallelMatrixRunner:
+    """Serial runner for ``workers == 1``, parallel runner otherwise."""
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if workers == 1:
+        return MatrixRunner(
+            dataset, train_fraction=train_fraction, seeds=seeds,
+            cache=cache, progress=progress,
+        )
+    return ParallelMatrixRunner(
+        dataset, train_fraction=train_fraction, seeds=seeds,
+        workers=workers, cache=cache, progress=progress,
+    )

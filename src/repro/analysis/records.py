@@ -98,3 +98,40 @@ class RocRecord:
         data["fpr"] = tuple(data["fpr"])
         data["tpr"] = tuple(data["tpr"])
         return cls(**data)
+
+
+#: Serializable record classes, by payload ``kind`` tag.
+RECORD_KINDS: dict[str, type] = {
+    "EvalRecord": EvalRecord,
+    "HardwareRecord": HardwareRecord,
+    "RocRecord": RocRecord,
+}
+
+
+def record_to_payload(record) -> dict:
+    """Tagged JSON payload (``{"kind", "data"}``) of one record."""
+    kind = type(record).__name__
+    if kind not in RECORD_KINDS:
+        raise TypeError(f"cannot serialize {kind}; expected one of {sorted(RECORD_KINDS)}")
+    return {"kind": kind, "data": record.to_dict()}
+
+
+def record_from_payload(payload) -> EvalRecord | HardwareRecord | RocRecord:
+    """Rebuild a record from :func:`record_to_payload` output.
+
+    Raises:
+        ValueError: if the payload is not a tagged record dict, names an
+            unknown kind, or its data does not match the record schema.
+    """
+    if not isinstance(payload, dict) or "kind" not in payload or "data" not in payload:
+        raise ValueError("malformed record payload: expected {'kind', 'data'} object")
+    kind = payload["kind"]
+    cls = RECORD_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(
+            f"unknown record kind {kind!r}; expected one of {sorted(RECORD_KINDS)}"
+        )
+    try:
+        return cls.from_dict(payload["data"])
+    except (TypeError, KeyError, ValueError) as exc:
+        raise ValueError(f"{kind} payload does not match its schema: {exc}") from exc

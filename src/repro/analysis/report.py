@@ -8,6 +8,7 @@ Figure 4 (ROC curves, rendered as ASCII), Figure 5 (ACC×AUC), Table 3
 
 from __future__ import annotations
 
+from repro.analysis.matrix import MatrixTiming
 from repro.analysis.records import EvalRecord, HardwareRecord, RocRecord
 from repro.core.config import CLASSIFIER_NAMES
 from repro.features.correlation import FeatureRanking
@@ -150,6 +151,27 @@ def roc_ascii(record: RocRecord, width: int = 61, height: int = 21) -> str:
 def figure4_report(records: list[RocRecord]) -> str:
     """Figure 4: ROC curves for the selected detectors."""
     return "\n\n".join(roc_ascii(record) for record in records)
+
+
+def timing_table(timings: list[MatrixTiming]) -> str:
+    """Per-config fit/eval wall time of one matrix run, plus totals."""
+    lines = [
+        "Matrix timing — per-config wall time (seconds)",
+        f"{'detector':26s} {'kind':>8s} {'fit':>8s} {'eval':>8s} {'total':>8s}  source",
+    ]
+    for t in timings:
+        lines.append(
+            f"{t.name:26s} {t.kind:>8s} {t.fit_seconds:>8.3f} "
+            f"{t.eval_seconds:>8.3f} {t.total_seconds:>8.3f}  "
+            f"{'cache' if t.cached else 'trained'}"
+        )
+    cached = sum(1 for t in timings if t.cached)
+    compute = sum(t.total_seconds for t in timings)
+    lines.append(
+        f"{len(timings)} cells: {cached} from cache, "
+        f"{len(timings) - cached} trained, {compute:.3f}s compute"
+    )
+    return "\n".join(lines)
 
 
 def improvement_summary(records: list[EvalRecord]) -> str:

@@ -19,14 +19,17 @@ import argparse
 import sys
 
 from repro.analysis import (
-    MatrixRunner,
+    CacheError,
+    ResultCache,
     figure3_table,
     figure5_table,
     improvement_summary,
+    make_matrix_runner,
     table1_table,
     table2_table,
     table3_grid,
     table3_table,
+    timing_table,
 )
 from repro.core import CLASSIFIER_NAMES, DetectorConfig, HMDDetector, RuntimeMonitor
 from repro.core.config import ENSEMBLE_MODES
@@ -83,16 +86,76 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="worker processes for grid evaluation (1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="crash-safe result cache directory; warm entries skip training",
+    )
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="stream per-config progress and print the fit/eval timing table",
+    )
+
+
+def _progress_printer(total: int):
+    """Per-cell progress lines on stderr as grid cells complete."""
+    done = [0]
+
+    def callback(timing) -> None:
+        done[0] += 1
+        source = (
+            "cache"
+            if timing.cached
+            else f"fit {timing.fit_seconds:.2f}s eval {timing.eval_seconds:.2f}s"
+        )
+        print(
+            f"[{done[0]:>3d}/{total}] {timing.name:26s} {source}",
+            file=sys.stderr,
+        )
+
+    return callback
+
+
+def _make_runner(corpus, seeds: tuple[int, ...], args: argparse.Namespace, total: int):
+    try:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    except CacheError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    progress = _progress_printer(total) if args.timings else None
+    return make_matrix_runner(
+        corpus, seeds=seeds, workers=args.workers, cache=cache, progress=progress
+    )
+
+
+def _report_timings(runner, args: argparse.Namespace) -> None:
+    if args.timings:
+        print()
+        print(timing_table(runner.timings))
+        if runner.cache is not None:
+            print(f"cache {args.cache_dir}: {runner.cache.stats}")
+
+
 def cmd_matrix(args: argparse.Namespace) -> int:
     """Run a slice of the evaluation grid and print Figs 3/5, Table 2."""
     corpus = _build_corpus(args)
-    runner = MatrixRunner(corpus, seeds=tuple(args.split_seeds))
     configs = [
         DetectorConfig(classifier, ensemble, n_hpcs)
         for classifier in (args.classifiers or CLASSIFIER_NAMES)
         for n_hpcs in args.budgets
         for ensemble in args.ensembles
     ]
+    runner = _make_runner(corpus, tuple(args.split_seeds), args, len(configs))
     records = runner.evaluate_grid(configs)
     print(figure3_table(records))
     print()
@@ -101,15 +164,18 @@ def cmd_matrix(args: argparse.Namespace) -> int:
     print(figure5_table(records))
     print()
     print(improvement_summary(records))
+    _report_timings(runner, args)
     return 0
 
 
 def cmd_hardware(args: argparse.Namespace) -> int:
     """Reproduce Table 3: hardware latency/area estimates."""
     corpus = _build_corpus(args)
-    runner = MatrixRunner(corpus, seeds=(args.split_seed,))
-    records = runner.hardware_grid(table3_grid())
+    configs = table3_grid()
+    runner = _make_runner(corpus, (args.split_seed,), args, len(configs))
+    records = runner.hardware_grid(configs)
     print(table3_table(records))
+    _report_timings(runner, args)
     return 0
 
 
@@ -235,11 +301,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--budgets", type=int, nargs="+", default=[16, 8, 4, 2])
     p.add_argument("--ensembles", nargs="+", default=list(ENSEMBLE_MODES),
                    choices=ENSEMBLE_MODES)
+    _add_runner_args(p)
     p.set_defaults(func=cmd_matrix)
 
     p = sub.add_parser("hardware", help="reproduce Table 3 (hardware costs)")
     _add_corpus_args(p)
     p.add_argument("--split-seed", type=int, default=7)
+    _add_runner_args(p)
     p.set_defaults(func=cmd_hardware)
 
     p = sub.add_parser("monitor", help="run-time detection demo")

@@ -25,13 +25,16 @@ from repro.hpc.lxc import ContainerPool
 from repro.hpc.microarch import DEFAULT_WINDOW_MS, ApplicationBehavior
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class DetectionVerdict:
     """Outcome of monitoring one application execution.
 
     Attributes:
         app_name: monitored application.
-        window_flags: per-window 0/1 classifications.
+        window_flags: per-window 0/1 classifications, stored as a
+            read-only copy (the verdict is evidence; callers must not
+            be able to rewrite it, and the constructor's array may be
+            reused by the caller).
         malware_fraction: fraction of windows flagged malicious.
         is_malware: application-level alarm decision.
         n_windows: number of windows observed.
@@ -41,6 +44,31 @@ class DetectionVerdict:
     window_flags: np.ndarray
     malware_fraction: float
     is_malware: bool
+
+    def __post_init__(self) -> None:
+        flags = np.array(self.window_flags, dtype=np.intp, copy=True)
+        flags.setflags(write=False)
+        object.__setattr__(self, "window_flags", flags)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DetectionVerdict):
+            return NotImplemented
+        return (
+            self.app_name == other.app_name
+            and np.array_equal(self.window_flags, other.window_flags)
+            and self.malware_fraction == other.malware_fraction
+            and self.is_malware == other.is_malware
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.app_name,
+                self.window_flags.tobytes(),
+                self.malware_fraction,
+                self.is_malware,
+            )
+        )
 
     @property
     def n_windows(self) -> int:

@@ -1,0 +1,154 @@
+"""Content-addressed result cache: keys, atomicity, corruption handling."""
+
+import json
+
+import pytest
+
+from repro.analysis.cache import (
+    CacheError,
+    ResultCache,
+    atomic_write_text,
+    dataset_fingerprint,
+    record_cache_key,
+)
+from repro.analysis.records import EvalRecord, HardwareRecord, RocRecord
+from repro.core.config import DetectorConfig
+from repro.workloads.benign import BENIGN_FAMILIES
+from repro.workloads.corpus import CorpusBuilder
+from repro.workloads.malware import MALWARE_FAMILIES
+
+EVAL = EvalRecord("OneR", "general", 2, 0.8, 0.75)
+HARDWARE = HardwareRecord("OneR", "general", 2, 1, 2.5, 10, 5, 0, 0)
+ROC = RocRecord("OneR", "general", 2, (0.0, 1.0), (0.0, 1.0), 0.5)
+
+
+def _key(**overrides):
+    defaults = dict(
+        corpus="abc",
+        train_fraction=0.7,
+        seeds=(7,),
+        config=DetectorConfig("OneR", "general", 2),
+        kind="eval",
+    )
+    defaults.update(overrides)
+    return record_cache_key(**defaults)
+
+
+# ----------------------------------------------------------------------
+# fingerprint / key sensitivity
+# ----------------------------------------------------------------------
+
+def test_fingerprint_deterministic(small_corpus):
+    assert dataset_fingerprint(small_corpus) == dataset_fingerprint(small_corpus)
+
+
+def test_fingerprint_tracks_content():
+    build = lambda windows: CorpusBuilder(
+        families=BENIGN_FAMILIES + MALWARE_FAMILIES, seed=2018,
+        windows_per_app=windows,
+    ).build()
+    assert dataset_fingerprint(build(4)) != dataset_fingerprint(build(5))
+
+
+def test_key_is_stable():
+    assert _key() == _key()
+
+
+@pytest.mark.parametrize(
+    "override",
+    [
+        {"corpus": "other"},
+        {"train_fraction": 0.8},
+        {"seeds": (7, 8)},
+        {"config": DetectorConfig("OneR", "general", 4)},
+        {"config": DetectorConfig("OneR", "boosted", 2)},
+        {"config": DetectorConfig("OneR", "general", 2, feature_method="information_gain")},
+        {"config": DetectorConfig("OneR", "general", 2, seed=1)},
+        {"kind": "hardware"},
+        {"extra": {"max_points": 100}},
+    ],
+)
+def test_key_tracks_every_dependency(override):
+    assert _key(**override) != _key()
+
+
+# ----------------------------------------------------------------------
+# atomic writes
+# ----------------------------------------------------------------------
+
+def test_atomic_write_creates_parents_and_no_tmp_leftovers(tmp_path):
+    target = tmp_path / "a" / "b.json"
+    atomic_write_text(target, "hello")
+    assert target.read_text() == "hello"
+    atomic_write_text(target, "world")  # overwrite in place
+    assert target.read_text() == "world"
+    assert list(tmp_path.rglob("*.tmp")) == []
+
+
+# ----------------------------------------------------------------------
+# ResultCache behaviour
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("record", [EVAL, HARDWARE, ROC])
+def test_round_trip_all_kinds(tmp_path, record):
+    cache = ResultCache(tmp_path / "cache")
+    key = _key(kind=type(record).__name__)
+    assert cache.get(key) is None
+    cache.put(key, record)
+    assert key in cache
+    assert cache.get(key) == record
+
+
+def test_miss_and_hit_stats(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = _key()
+    cache.get(key)
+    cache.put(key, EVAL)
+    cache.get(key)
+    assert cache.stats.misses == 1
+    assert cache.stats.writes == 1
+    assert cache.stats.hits == 1
+
+
+def test_root_must_be_a_directory(tmp_path):
+    not_a_dir = tmp_path / "plain-file"
+    not_a_dir.write_text("occupied")
+    with pytest.raises(CacheError, match="not a directory"):
+        ResultCache(not_a_dir)
+
+
+def test_corrupt_entry_is_a_miss_and_removed(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = _key()
+    cache.put(key, EVAL)
+    cache.path_of(key).write_text('{"kind": "EvalRecord", "data": {"class')
+    assert cache.get(key) is None
+    assert cache.stats.corrupt == 1
+    assert key not in cache
+    # The slot is reusable after corruption.
+    cache.put(key, EVAL)
+    assert cache.get(key) == EVAL
+
+
+def test_schema_mismatch_is_corrupt(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    key = _key()
+    payload = {"kind": "EvalRecord", "data": {"not_a_field": 1}}
+    cache.path_of(key).parent.mkdir(parents=True)
+    cache.path_of(key).write_text(json.dumps(payload))
+    assert cache.get(key) is None
+    assert cache.stats.corrupt == 1
+
+
+def test_len_and_clear(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    assert len(cache) == 0
+    cache.put(_key(), EVAL)
+    cache.put(_key(kind="hardware"), HARDWARE)
+    assert len(cache) == 2
+    assert cache.clear() == 2
+    assert len(cache) == 0
+
+
+def test_cache_error_is_runtime_error():
+    assert issubclass(CacheError, RuntimeError)

@@ -1,9 +1,17 @@
 """Cross-validated evaluation records."""
 
+import numpy as np
 import pytest
 
-from repro.analysis.crossval import CrossValRecord, cross_validated_record, stability_table
+from repro.analysis.crossval import (
+    CrossValRecord,
+    cross_validated_record,
+    sample_std,
+    stability_table,
+)
 from repro.core.config import DetectorConfig
+from repro.core.detector import HMDDetector
+from repro.ml.validation import app_level_kfold
 
 
 @pytest.fixture(scope="module")
@@ -48,6 +56,27 @@ def test_stability_table_sorted(small_corpus):
     text = stability_table(records)
     assert text.index("REPTree") < text.index("OneR")  # stronger first
     assert "±" in text
+
+
+def test_sample_std_uses_ddof_1():
+    values = [0.7, 0.8, 0.9]
+    assert sample_std(values) == pytest.approx(float(np.std(values, ddof=1)))
+    assert sample_std(values) > float(np.std(values))  # population std undershoots
+
+
+def test_sample_std_guards_degenerate_samples():
+    assert sample_std([0.8]) == 0.0
+    assert sample_std([]) == 0.0
+
+
+def test_record_std_is_sample_std(small_corpus, record):
+    """Regression: fold spread must be the ddof=1 sample deviation."""
+    config = DetectorConfig("OneR", "general", 2)
+    accuracies = []
+    for fold in app_level_kfold(small_corpus, n_folds=3, seed=1):
+        detector = HMDDetector(config).fit(fold.train)
+        accuracies.append(detector.evaluate(fold.test).accuracy)
+    assert record.accuracy_std == pytest.approx(float(np.std(accuracies, ddof=1)))
 
 
 def test_deterministic(small_corpus):

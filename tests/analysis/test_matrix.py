@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.analysis.cache import CacheError
 from repro.analysis.matrix import MatrixRunner, load_records, paper_grid, save_records, table3_grid
 from repro.analysis.records import EvalRecord, HardwareRecord, RocRecord
 from repro.core.config import DetectorConfig
@@ -79,3 +80,60 @@ def test_save_load_round_trip(tmp_path, runner):
     save_records(path, records)
     loaded = load_records(path)
     assert loaded == records
+
+
+def test_save_records_is_atomic(tmp_path, runner):
+    """Saving leaves no temp files and survives overwriting in place."""
+    records = [runner.evaluate(DetectorConfig("OneR", "general", 2))]
+    path = tmp_path / "records.json"
+    save_records(path, records)
+    save_records(path, records)  # overwrite must not truncate-then-fail
+    assert load_records(path) == records
+    assert list(tmp_path.glob("*.tmp")) == []
+
+
+def test_load_records_corrupt_file_raises_clear_error(tmp_path):
+    path = tmp_path / "records.json"
+    path.write_text('[{"kind": "EvalRecord", "data"')  # truncated write
+    with pytest.raises(CacheError, match="corrupt or partially written"):
+        load_records(path)
+
+
+def test_load_records_wrong_shape_raises_clear_error(tmp_path):
+    path = tmp_path / "records.json"
+    path.write_text('{"not": "a list"}')
+    with pytest.raises(CacheError, match="does not contain a record list"):
+        load_records(path)
+
+
+def test_load_records_unknown_kind_raises_clear_error(tmp_path):
+    path = tmp_path / "records.json"
+    path.write_text('[{"kind": "Mystery", "data": {}}]')
+    with pytest.raises(CacheError, match="unknown record kind"):
+        load_records(path)
+
+
+def test_fit_respects_feature_method(runner):
+    """Regression: the shared ranking must honour config.feature_method,
+    not silently fall back to the default correlation ranking."""
+    config = DetectorConfig(
+        "OneR", "general", 4, feature_method="information_gain"
+    )
+    detector = runner._fit_detector(config, 7)
+    assert detector.reducer.ranking_.method == "information_gain"
+    assert runner.ranking(7, "information_gain").method == "information_gain"
+    assert runner.ranking(7, "correlation").method == "correlation"
+
+
+def test_fit_reuses_shared_ranking_per_method(runner):
+    first = runner.ranking(7, "correlation")
+    assert runner.ranking(7, "correlation") is first  # computed once
+
+
+def test_timings_recorded(small_corpus):
+    runner = MatrixRunner(small_corpus, seeds=(7,))
+    runner.evaluate(DetectorConfig("OneR", "general", 2))
+    runner.hardware(DetectorConfig("OneR", "general", 2))
+    assert [t.kind for t in runner.timings] == ["eval", "hardware"]
+    assert all(t.fit_seconds > 0.0 and not t.cached for t in runner.timings)
+    assert runner.n_fits == 2

@@ -83,6 +83,37 @@ def test_detection_latency_reported(detector4):
         assert 0 <= latency < 30
 
 
+def test_verdict_flags_are_read_only():
+    verdict = DetectionVerdict(
+        app_name="x", window_flags=np.array([0, 1, 0]),
+        malware_fraction=1 / 3, is_malware=False,
+    )
+    with pytest.raises(ValueError):
+        verdict.window_flags[0] = 1
+
+
+def test_verdict_copies_constructor_array():
+    source = np.array([0, 1, 0])
+    verdict = DetectionVerdict(
+        app_name="x", window_flags=source,
+        malware_fraction=1 / 3, is_malware=False,
+    )
+    source[0] = 1  # caller mutating its own array must not rewrite evidence
+    assert verdict.window_flags[0] == 0
+
+
+def test_verdict_equality_and_hash():
+    make = lambda flags: DetectionVerdict(
+        app_name="x", window_flags=np.array(flags),
+        malware_fraction=0.5, is_malware=True,
+    )
+    a, b, c = make([0, 1]), make([0, 1]), make([1, 1])
+    assert a == b  # must not raise "truth value is ambiguous"
+    assert a != c
+    assert a != "not a verdict"
+    assert hash(a) == hash(b)
+
+
 def test_detection_latency_none_when_never_flagged(detector4):
     monitor = RuntimeMonitor(detector4, n_counters=4)
     verdict = DetectionVerdict(
