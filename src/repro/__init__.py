@@ -20,6 +20,9 @@ Subpackages:
 * :mod:`repro.hardware` — HLS-style latency/area estimation (Table 3).
 * :mod:`repro.analysis` — the evaluation matrix and table/figure
   renderers for every experiment in the paper.
+* :mod:`repro.obs` — zero-dependency observability: span tracer,
+  metrics registry (Prometheus text / JSON snapshot exporters), and the
+  ``repro-hmd stats`` renderers; everything is a no-op unless enabled.
 
 Quickstart::
 
@@ -54,6 +57,7 @@ from repro.ml import (
     make_classifier,
     mcnemar_test,
 )
+from repro.obs import Registry, Tracer
 from repro.workloads import (
     BENIGN_FAMILIES,
     MALWARE_FAMILIES,
@@ -85,8 +89,10 @@ __all__ = [
     "HardwareDesign",
     "InterferenceModel",
     "MatrixRunner",
+    "Registry",
     "RuntimeMonitor",
     "SpecializedEnsembleDetector",
+    "Tracer",
     "VotingEnsemble",
     "__version__",
     "app_level_split",

@@ -18,6 +18,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
@@ -25,6 +26,7 @@ import numpy as np
 
 from repro.analysis.records import record_from_payload, record_to_payload
 from repro.core.config import DetectorConfig
+from repro.obs import NULL_REGISTRY, Registry
 from repro.workloads.dataset import Dataset
 
 
@@ -127,10 +129,15 @@ class ResultCache:
 
     Args:
         root: cache directory (created on first write).
+        metrics: optional :class:`~repro.obs.Registry`; when given the
+            cache publishes hit/miss/corrupt/write counters, bytes
+            written, and an atomic-replace latency histogram alongside
+            the in-process :class:`CacheStats`.
     """
 
     root: Path
     stats: CacheStats = field(default_factory=CacheStats)
+    metrics: Registry | None = None
 
     def __post_init__(self) -> None:
         self.root = Path(self.root)
@@ -138,6 +145,25 @@ class ResultCache:
             raise CacheError(
                 f"result cache root {self.root} exists but is not a directory"
             )
+        registry = self.metrics if self.metrics is not None else NULL_REGISTRY
+        self._c_hits = registry.counter(
+            "cache_hits_total", "result-cache lookups served from disk"
+        )
+        self._c_misses = registry.counter(
+            "cache_misses_total", "result-cache lookups that forced a recompute"
+        )
+        self._c_corrupt = registry.counter(
+            "cache_corrupt_total", "corrupt cache entries discarded"
+        )
+        self._c_writes = registry.counter(
+            "cache_writes_total", "records written back to the cache"
+        )
+        self._c_bytes = registry.counter(
+            "cache_bytes_written_total", "serialized record bytes written"
+        )
+        self._h_write = registry.histogram(
+            "cache_write_seconds", "atomic tempfile+replace write latency"
+        )
 
     def path_of(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -153,24 +179,31 @@ class ResultCache:
             text = path.read_text()
         except FileNotFoundError:
             self.stats.misses += 1
+            self._c_misses.inc()
             return None
         try:
             record = record_from_payload(json.loads(text))
         except (ValueError, json.JSONDecodeError):
             self.stats.corrupt += 1
             self.stats.misses += 1
+            self._c_corrupt.inc()
+            self._c_misses.inc()
             with contextlib.suppress(OSError):
                 path.unlink()
             return None
         self.stats.hits += 1
+        self._c_hits.inc()
         return record
 
     def put(self, key: str, record) -> None:
         """Store one record atomically under its content address."""
-        atomic_write_text(
-            self.path_of(key), json.dumps(record_to_payload(record), indent=1)
-        )
+        text = json.dumps(record_to_payload(record), indent=1)
+        start = time.perf_counter()
+        atomic_write_text(self.path_of(key), text)
+        self._h_write.observe(time.perf_counter() - start)
         self.stats.writes += 1
+        self._c_writes.inc()
+        self._c_bytes.inc(len(text))
 
     def __contains__(self, key: str) -> bool:
         return self.path_of(key).exists()

@@ -41,6 +41,7 @@ from repro.features.correlation import FeatureRanking, rank_features
 from repro.hardware.lowering import lower
 from repro.ml.metrics import roc_curve
 from repro.ml.validation import app_level_split
+from repro.obs import NULL_REGISTRY, NULL_TRACER, Registry, Tracer
 from repro.workloads.dataset import Dataset
 
 #: Record kinds a runner can produce (and cache) per grid cell.
@@ -104,6 +105,13 @@ class MatrixRunner:
             training entirely, misses are written back per record.
         progress: optional callback invoked with a :class:`MatrixTiming`
             as each grid cell completes (cache hits included).
+        tracer: optional :class:`~repro.obs.Tracer` receiving
+            ``matrix.fit`` / ``matrix.eval`` / ``matrix.roc`` /
+            ``matrix.hardware`` / ``matrix.ranking`` spans; defaults to
+            the disabled :data:`~repro.obs.NULL_TRACER` (a no-op).
+        metrics: optional :class:`~repro.obs.Registry` counting cached
+            vs computed cells and observing per-stage wall-time
+            histograms; defaults to the disabled registry.
     """
 
     def __init__(
@@ -113,6 +121,8 @@ class MatrixRunner:
         seeds: tuple[int, ...] = (7,),
         cache: ResultCache | None = None,
         progress: Callable[[MatrixTiming], None] | None = None,
+        tracer: Tracer | None = None,
+        metrics: Registry | None = None,
     ) -> None:
         if not seeds:
             raise ValueError("need at least one split seed")
@@ -121,6 +131,23 @@ class MatrixRunner:
         self.seeds = tuple(seeds)
         self.cache = cache
         self.progress = progress
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._c_cached = self.metrics.counter(
+            "matrix_cells_cached_total", "grid cells served from the result cache"
+        )
+        self._c_computed = self.metrics.counter(
+            "matrix_cells_computed_total", "grid cells trained and evaluated"
+        )
+        self._c_rankings = self.metrics.counter(
+            "matrix_rankings_computed_total", "shared feature rankings computed"
+        )
+        self._h_fit = self.metrics.histogram(
+            "matrix_fit_seconds", "per-cell detector training wall time"
+        )
+        self._h_eval = self.metrics.histogram(
+            "matrix_eval_seconds", "per-cell scoring/lowering wall time"
+        )
         self.timings: list[MatrixTiming] = []
         #: Detectors trained by this runner (0 on a fully warm cache).
         self.n_fits = 0
@@ -141,9 +168,11 @@ class MatrixRunner:
         """The shared feature ranking of one split, per requested method."""
         key = (seed, method)
         if key not in self._rankings:
-            self._rankings[key] = rank_features(
-                self._splits[seed].train, method=method
-            )
+            with self.tracer.span("matrix.ranking", seed=seed, method=method):
+                self._rankings[key] = rank_features(
+                    self._splits[seed].train, method=method
+                )
+            self._c_rankings.inc()
         return self._rankings[key]
 
     def _fit_detector(self, config: DetectorConfig, seed: int) -> HMDDetector:
@@ -200,6 +229,12 @@ class MatrixRunner:
 
     def _note(self, timing: MatrixTiming) -> None:
         self.timings.append(timing)
+        if timing.cached:
+            self._c_cached.inc()
+        else:
+            self._c_computed.inc()
+            self._h_fit.observe(timing.fit_seconds)
+            self._h_eval.observe(timing.eval_seconds)
         if self.progress is not None:
             self.progress(timing)
 
@@ -212,9 +247,11 @@ class MatrixRunner:
         fit_seconds = eval_seconds = 0.0
         for seed in self.seeds:
             start = time.perf_counter()
-            detector = self._fit_detector(config, seed)
+            with self.tracer.span("matrix.fit", config=config.name, seed=seed):
+                detector = self._fit_detector(config, seed)
             fitted = time.perf_counter()
-            scores = detector.evaluate(self._splits[seed].test)
+            with self.tracer.span("matrix.eval", config=config.name, seed=seed):
+                scores = detector.evaluate(self._splits[seed].test)
             done = time.perf_counter()
             fit_seconds += fitted - start
             eval_seconds += done - fitted
@@ -238,16 +275,18 @@ class MatrixRunner:
         """ROC curve of one config on the first split seed (Figure 4)."""
         seed = self.seeds[0]
         start = time.perf_counter()
-        detector = self._fit_detector(config, seed)
+        with self.tracer.span("matrix.fit", config=config.name, seed=seed):
+            detector = self._fit_detector(config, seed)
         fitted = time.perf_counter()
-        test = self._splits[seed].test
-        reduced = detector.reducer.transform(test)
-        scores = detector.model.decision_scores(reduced.features)
-        fpr, tpr, _ = roc_curve(reduced.labels, scores)
-        auc = float(np.trapezoid(tpr, fpr))
-        if len(fpr) > max_points:
-            idx = np.linspace(0, len(fpr) - 1, max_points).astype(int)
-            fpr, tpr = fpr[idx], tpr[idx]
+        with self.tracer.span("matrix.roc", config=config.name, seed=seed):
+            test = self._splits[seed].test
+            reduced = detector.reducer.transform(test)
+            scores = detector.model.decision_scores(reduced.features)
+            fpr, tpr, _ = roc_curve(reduced.labels, scores)
+            auc = float(np.trapezoid(tpr, fpr))
+            if len(fpr) > max_points:
+                idx = np.linspace(0, len(fpr) - 1, max_points).astype(int)
+                fpr, tpr = fpr[idx], tpr[idx]
         record = RocRecord(
             classifier=config.classifier,
             ensemble=config.ensemble,
@@ -266,9 +305,11 @@ class MatrixRunner:
     ) -> tuple[HardwareRecord, MatrixTiming]:
         """Hardware cost of one config trained on the first split seed."""
         start = time.perf_counter()
-        detector = self._fit_detector(config, self.seeds[0])
+        with self.tracer.span("matrix.fit", config=config.name, seed=self.seeds[0]):
+            detector = self._fit_detector(config, self.seeds[0])
         fitted = time.perf_counter()
-        design = lower(detector.model)
+        with self.tracer.span("matrix.hardware", config=config.name):
+            design = lower(detector.model)
         record = HardwareRecord(
             classifier=config.classifier,
             ensemble=config.ensemble,

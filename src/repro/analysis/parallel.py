@@ -26,22 +26,41 @@ from repro.analysis.cache import ResultCache
 from repro.analysis.matrix import MatrixRunner, MatrixTiming
 from repro.analysis.records import EvalRecord, HardwareRecord, RocRecord
 from repro.core.config import DetectorConfig
+from repro.obs import Registry, Tracer
 from repro.workloads.dataset import Dataset
 
 #: Per-worker-process runner, built once by :func:`_init_worker`.
 _WORKER_RUNNER: MatrixRunner | None = None
+#: Per-worker observability buffers, drained back to the parent with
+#: every completed cell (events carry the worker's pid).
+_WORKER_TRACER: Tracer | None = None
+_WORKER_METRICS: Registry | None = None
 
 
 def _init_worker(
-    dataset: Dataset, train_fraction: float, seeds: tuple[int, ...]
+    dataset: Dataset,
+    train_fraction: float,
+    seeds: tuple[int, ...],
+    trace_enabled: bool = False,
+    metrics_enabled: bool = False,
 ) -> None:
     """Build the worker's shared runner (splits computed once per worker)."""
-    global _WORKER_RUNNER
-    _WORKER_RUNNER = MatrixRunner(dataset, train_fraction=train_fraction, seeds=seeds)
+    global _WORKER_RUNNER, _WORKER_TRACER, _WORKER_METRICS
+    _WORKER_TRACER = Tracer(enabled=trace_enabled)
+    _WORKER_METRICS = Registry(enabled=metrics_enabled)
+    _WORKER_RUNNER = MatrixRunner(
+        dataset, train_fraction=train_fraction, seeds=seeds,
+        tracer=_WORKER_TRACER, metrics=_WORKER_METRICS,
+    )
 
 
 def _worker_task(task: tuple[str, DetectorConfig, dict]):
-    """Evaluate one grid cell in the worker; returns (record, timing, fits)."""
+    """Evaluate one grid cell in the worker.
+
+    Returns ``(record, timing, fits, trace_events, metrics_snapshot)``;
+    the observability payloads are empty/None when disabled so the
+    pickle cost of the default path stays unchanged.
+    """
     kind, config, kwargs = task
     runner = _WORKER_RUNNER
     assert runner is not None, "worker used before initialization"
@@ -54,7 +73,9 @@ def _worker_task(task: tuple[str, DetectorConfig, dict]):
         record, timing = runner.timed_roc(config, **kwargs)
     else:
         raise ValueError(f"unknown record kind {kind!r}")
-    return record, timing, runner.n_fits - fits_before
+    events = _WORKER_TRACER.drain() if _WORKER_TRACER.enabled else []
+    snapshot = _WORKER_METRICS.drain() if _WORKER_METRICS.enabled else None
+    return record, timing, runner.n_fits - fits_before, events, snapshot
 
 
 class ParallelMatrixRunner:
@@ -70,6 +91,12 @@ class ParallelMatrixRunner:
             the parent and never dispatched.
         progress: per-cell :class:`MatrixTiming` callback (cache hits
             and worker results alike), invoked in the parent process.
+        tracer: optional :class:`~repro.obs.Tracer`; each worker traces
+            into its own buffer and the parent absorbs the drained
+            events as results arrive, so one trace covers the fan-out.
+        metrics: optional :class:`~repro.obs.Registry`; worker
+            snapshots are merged into it alongside the parent's own
+            counters.
     """
 
     def __init__(
@@ -80,6 +107,8 @@ class ParallelMatrixRunner:
         workers: int | None = None,
         cache: ResultCache | None = None,
         progress: Callable[[MatrixTiming], None] | None = None,
+        tracer: Tracer | None = None,
+        metrics: Registry | None = None,
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
@@ -88,7 +117,7 @@ class ParallelMatrixRunner:
         self.workers = workers
         self._serial = MatrixRunner(
             dataset, train_fraction=train_fraction, seeds=seeds,
-            cache=cache, progress=progress,
+            cache=cache, progress=progress, tracer=tracer, metrics=metrics,
         )
         self._worker_fits = 0
 
@@ -112,6 +141,14 @@ class ParallelMatrixRunner:
     @property
     def timings(self) -> list[MatrixTiming]:
         return self._serial.timings
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._serial.tracer
+
+    @property
+    def metrics(self) -> Registry:
+        return self._serial.metrics
 
     @property
     def n_fits(self) -> int:
@@ -162,7 +199,10 @@ class ParallelMatrixRunner:
         with ProcessPoolExecutor(
             max_workers=min(self.workers, len(pending)),
             initializer=_init_worker,
-            initargs=(serial.dataset, serial.train_fraction, serial.seeds),
+            initargs=(
+                serial.dataset, serial.train_fraction, serial.seeds,
+                serial.tracer.enabled, serial.metrics.enabled,
+            ),
         ) as pool:
             futures = {
                 pool.submit(_worker_task, (kind, config, kwargs)): (i, config)
@@ -172,9 +212,12 @@ class ParallelMatrixRunner:
             # loses only the cells still in flight.
             for future in as_completed(futures):
                 i, config = futures[future]
-                record, timing, fits = future.result()
+                record, timing, fits, events, snapshot = future.result()
                 results[i] = record
                 self._worker_fits += fits
+                serial.tracer.absorb(events)
+                if snapshot is not None:
+                    serial.metrics.merge(snapshot)
                 serial.cache_store(config, kind, record, kwargs or None)
                 serial._note(timing)
         return results
@@ -187,6 +230,8 @@ def make_matrix_runner(
     workers: int = 1,
     cache: ResultCache | None = None,
     progress: Callable[[MatrixTiming], None] | None = None,
+    tracer: Tracer | None = None,
+    metrics: Registry | None = None,
 ) -> MatrixRunner | ParallelMatrixRunner:
     """Serial runner for ``workers == 1``, parallel runner otherwise."""
     if workers < 1:
@@ -194,9 +239,10 @@ def make_matrix_runner(
     if workers == 1:
         return MatrixRunner(
             dataset, train_fraction=train_fraction, seeds=seeds,
-            cache=cache, progress=progress,
+            cache=cache, progress=progress, tracer=tracer, metrics=metrics,
         )
     return ParallelMatrixRunner(
         dataset, train_fraction=train_fraction, seeds=seeds,
         workers=workers, cache=cache, progress=progress,
+        tracer=tracer, metrics=metrics,
     )

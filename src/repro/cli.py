@@ -11,6 +11,12 @@ Installed as ``repro-hmd``.  Subcommands:
 * ``verilog``  — emit RTL for a trained detector.
 * ``crossval`` — cross-validated scores with error bars.
 * ``evasion``  — malware recall vs evasion strength.
+* ``stats``    — summarize a trace/metrics file from a previous run.
+
+``matrix``/``hardware``/``monitor``/``crossval`` accept
+``--trace-out PATH`` (JSONL span/event trace) and ``--metrics-out
+PATH`` (JSON metrics snapshot); instrumentation is off — and free —
+unless one of them is given.
 """
 
 from __future__ import annotations
@@ -18,6 +24,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import __version__
 from repro.analysis import (
     CacheError,
     ResultCache,
@@ -36,6 +43,15 @@ from repro.core.config import ENSEMBLE_MODES
 from repro.features import rank_features
 from repro.hpc import ContainerPool
 from repro.ml import app_level_split
+from repro.obs import (
+    MatrixProgressSink,
+    Registry,
+    Tracer,
+    load_metrics,
+    load_trace,
+    metrics_table,
+    span_table,
+)
 from repro.workloads import BENIGN_FAMILIES, MALWARE_FAMILIES, default_corpus
 from repro.workloads.dataset import MALWARE
 
@@ -108,33 +124,63 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _progress_printer(total: int):
-    """Per-cell progress lines on stderr as grid cells complete."""
-    done = [0]
-
-    def callback(timing) -> None:
-        done[0] += 1
-        source = (
-            "cache"
-            if timing.cached
-            else f"fit {timing.fit_seconds:.2f}s eval {timing.eval_seconds:.2f}s"
-        )
-        print(
-            f"[{done[0]:>3d}/{total}] {timing.name:26s} {source}",
-            file=sys.stderr,
-        )
-
-    return callback
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a JSONL span/event trace of this run to PATH "
+        "(render with: repro-hmd stats --trace PATH)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write a JSON metrics snapshot of this run to PATH "
+        "(render with: repro-hmd stats --metrics PATH)",
+    )
 
 
-def _make_runner(corpus, seeds: tuple[int, ...], args: argparse.Namespace, total: int):
+def _make_obs(args: argparse.Namespace) -> tuple[Tracer, Registry]:
+    """Tracer/registry for this invocation — enabled only when asked."""
+    return (
+        Tracer(enabled=bool(args.trace_out)),
+        Registry(enabled=bool(args.metrics_out)),
+    )
+
+
+def _dump_obs(args: argparse.Namespace, tracer: Tracer, metrics: Registry) -> None:
+    if args.trace_out:
+        n = tracer.dump(args.trace_out)
+        print(f"wrote trace {args.trace_out} ({n} events)", file=sys.stderr)
+    if args.metrics_out:
+        metrics.dump(args.metrics_out)
+        print(f"wrote metrics {args.metrics_out}", file=sys.stderr)
+
+
+def _make_runner(
+    corpus,
+    seeds: tuple[int, ...],
+    args: argparse.Namespace,
+    total: int,
+    tracer: Tracer,
+    metrics: Registry,
+):
     try:
-        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+        cache = (
+            ResultCache(args.cache_dir, metrics=metrics) if args.cache_dir else None
+        )
     except CacheError as exc:
         raise SystemExit(f"error: {exc}") from exc
-    progress = _progress_printer(total) if args.timings else None
+    progress = None
+    if args.timings or tracer.enabled:
+        # One code path for stderr progress lines and per-cell trace
+        # events; silent (trace-only) when --timings was not given.
+        progress = MatrixProgressSink(
+            total,
+            tracer=tracer,
+            metrics=metrics,
+            stream=sys.stderr if args.timings else None,
+        )
     return make_matrix_runner(
-        corpus, seeds=seeds, workers=args.workers, cache=cache, progress=progress
+        corpus, seeds=seeds, workers=args.workers, cache=cache,
+        progress=progress, tracer=tracer, metrics=metrics,
     )
 
 
@@ -148,62 +194,83 @@ def _report_timings(runner, args: argparse.Namespace) -> None:
 
 def cmd_matrix(args: argparse.Namespace) -> int:
     """Run a slice of the evaluation grid and print Figs 3/5, Table 2."""
-    corpus = _build_corpus(args)
+    tracer, metrics = _make_obs(args)
+    with tracer.span("cli.corpus"):
+        corpus = _build_corpus(args)
     configs = [
         DetectorConfig(classifier, ensemble, n_hpcs)
         for classifier in (args.classifiers or CLASSIFIER_NAMES)
         for n_hpcs in args.budgets
         for ensemble in args.ensembles
     ]
-    runner = _make_runner(corpus, tuple(args.split_seeds), args, len(configs))
-    records = runner.evaluate_grid(configs)
-    print(figure3_table(records))
-    print()
-    print(table2_table(records))
-    print()
-    print(figure5_table(records))
-    print()
-    print(improvement_summary(records))
-    _report_timings(runner, args)
+    runner = _make_runner(
+        corpus, tuple(args.split_seeds), args, len(configs), tracer, metrics
+    )
+    with tracer.span("cli.grid", cells=len(configs)):
+        records = runner.evaluate_grid(configs)
+    with tracer.span("cli.render"):
+        print(figure3_table(records))
+        print()
+        print(table2_table(records))
+        print()
+        print(figure5_table(records))
+        print()
+        print(improvement_summary(records))
+        _report_timings(runner, args)
+    _dump_obs(args, tracer, metrics)
     return 0
 
 
 def cmd_hardware(args: argparse.Namespace) -> int:
     """Reproduce Table 3: hardware latency/area estimates."""
-    corpus = _build_corpus(args)
+    tracer, metrics = _make_obs(args)
+    with tracer.span("cli.corpus"):
+        corpus = _build_corpus(args)
     configs = table3_grid()
-    runner = _make_runner(corpus, (args.split_seed,), args, len(configs))
-    records = runner.hardware_grid(configs)
-    print(table3_table(records))
-    _report_timings(runner, args)
+    runner = _make_runner(
+        corpus, (args.split_seed,), args, len(configs), tracer, metrics
+    )
+    with tracer.span("cli.grid", cells=len(configs)):
+        records = runner.hardware_grid(configs)
+    with tracer.span("cli.render"):
+        print(table3_table(records))
+        _report_timings(runner, args)
+    _dump_obs(args, tracer, metrics)
     return 0
 
 
 def cmd_monitor(args: argparse.Namespace) -> int:
     """Deploy a detector and stream fresh executions through it."""
-    corpus = _build_corpus(args)
+    tracer, metrics = _make_obs(args)
+    with tracer.span("cli.corpus"):
+        corpus = _build_corpus(args)
     split = app_level_split(corpus, 0.7, seed=args.split_seed)
     config = DetectorConfig(args.classifier, args.ensemble, args.hpcs)
-    detector = HMDDetector(config).fit(split.train)
-    monitor = RuntimeMonitor(detector, n_counters=args.counters)
+    with tracer.span("cli.fit", config=config.name):
+        detector = HMDDetector(config).fit(split.train)
+    monitor = RuntimeMonitor(
+        detector, n_counters=args.counters, tracer=tracer, metrics=metrics
+    )
     pool = ContainerPool(seed=args.seed + 99)
     import numpy as np
 
     rng = np.random.default_rng(args.seed + 100)
     correct = 0
     total = 0
-    for family in (BENIGN_FAMILIES + MALWARE_FAMILIES)[:: args.stride]:
-        app = family.instantiate(rng)[0]
-        truth = family.label == MALWARE
-        verdict = monitor.monitor(app, args.windows, pool, is_malware=truth)
-        total += 1
-        correct += verdict.is_malware == truth
-        print(
-            f"{app.name:28s} truth={'malware' if truth else 'benign ':7s} "
-            f"verdict={'malware' if verdict.is_malware else 'benign ':7s} "
-            f"flagged={verdict.malware_fraction:.0%}"
-        )
+    with tracer.span("cli.monitor"):
+        for family in (BENIGN_FAMILIES + MALWARE_FAMILIES)[:: args.stride]:
+            app = family.instantiate(rng)[0]
+            truth = family.label == MALWARE
+            verdict = monitor.monitor(app, args.windows, pool, is_malware=truth)
+            total += 1
+            correct += verdict.is_malware == truth
+            print(
+                f"{app.name:28s} truth={'malware' if truth else 'benign ':7s} "
+                f"verdict={'malware' if verdict.is_malware else 'benign ':7s} "
+                f"flagged={verdict.malware_fraction:.0%}"
+            )
     print(f"\napplication-level accuracy: {correct}/{total}")
+    _dump_obs(args, tracer, metrics)
     return 0
 
 
@@ -230,14 +297,41 @@ def cmd_crossval(args: argparse.Namespace) -> int:
     """Cross-validated detector scores with fold error bars."""
     from repro.analysis.crossval import cross_validated_record, stability_table
 
-    corpus = _build_corpus(args)
+    tracer, metrics = _make_obs(args)
+    c_folds = metrics.counter(
+        "crossval_records_total", "cross-validated records computed"
+    )
+    with tracer.span("cli.corpus"):
+        corpus = _build_corpus(args)
     records = []
-    for classifier in args.classifiers or ("REPTree", "JRip", "OneR"):
-        config = DetectorConfig(classifier, args.ensemble, args.hpcs)
-        records.append(
-            cross_validated_record(corpus, config, n_folds=args.folds, seed=args.split_seed)
-        )
+    with tracer.span("cli.crossval", folds=args.folds):
+        for classifier in args.classifiers or ("REPTree", "JRip", "OneR"):
+            config = DetectorConfig(classifier, args.ensemble, args.hpcs)
+            with tracer.span("crossval.record", config=config.name):
+                records.append(
+                    cross_validated_record(
+                        corpus, config, n_folds=args.folds, seed=args.split_seed
+                    )
+                )
+            c_folds.inc()
     print(stability_table(records))
+    _dump_obs(args, tracer, metrics)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Summarize trace/metrics files written by --trace-out/--metrics-out."""
+    if not args.trace and not args.metrics:
+        raise SystemExit("error: stats needs --trace and/or --metrics")
+    sections = []
+    try:
+        if args.trace:
+            sections.append(span_table(load_trace(args.trace)))
+        if args.metrics:
+            sections.append(metrics_table(load_metrics(args.metrics)))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    print("\n\n".join(sections))
     return 0
 
 
@@ -269,6 +363,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-hmd",
         description="Hardware-based malware detection with ensemble learning "
         "(DAC 2018 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -302,12 +399,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ensembles", nargs="+", default=list(ENSEMBLE_MODES),
                    choices=ENSEMBLE_MODES)
     _add_runner_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_matrix)
 
     p = sub.add_parser("hardware", help="reproduce Table 3 (hardware costs)")
     _add_corpus_args(p)
     p.add_argument("--split-seed", type=int, default=7)
     _add_runner_args(p)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_hardware)
 
     p = sub.add_parser("monitor", help="run-time detection demo")
@@ -319,6 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--counters", type=int, default=4)
     p.add_argument("--stride", type=int, default=1,
                    help="monitor every Nth family only")
+    _add_obs_args(p)
     p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser("verilog", help="emit RTL for a trained detector")
@@ -338,7 +438,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ensemble", default="general", choices=ENSEMBLE_MODES)
     p.add_argument("--hpcs", type=int, default=4)
     p.add_argument("--folds", type=int, default=4)
+    _add_obs_args(p)
     p.set_defaults(func=cmd_crossval)
+
+    p = sub.add_parser(
+        "stats", help="summarize a trace/metrics file from a previous run"
+    )
+    p.add_argument("--trace", metavar="PATH",
+                   help="JSONL trace written by --trace-out")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="JSON metrics snapshot written by --metrics-out")
+    p.set_defaults(func=cmd_stats)
 
     p = sub.add_parser("evasion", help="malware recall vs evasion strength")
     _add_corpus_args(p)

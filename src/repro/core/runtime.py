@@ -14,6 +14,7 @@ at run time and is rejected outright.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,6 +24,13 @@ from repro.hpc.counters import CounterCapacityError, CounterRegisterFile, sample
 from repro.hpc.events import ALL_EVENTS
 from repro.hpc.lxc import ContainerPool
 from repro.hpc.microarch import DEFAULT_WINDOW_MS, ApplicationBehavior
+from repro.obs import (
+    FAST_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    Registry,
+    Tracer,
+)
 
 
 @dataclass(frozen=True, eq=False)
@@ -86,6 +94,14 @@ class RuntimeMonitor:
         vote_threshold: fraction of flagged windows that raises the
             application-level alarm.
         window_ms: sampling interval.
+        tracer: optional :class:`~repro.obs.Tracer`; every monitored
+            execution records ``monitor.app`` / ``monitor.execute`` /
+            ``monitor.classify`` spans and one ``monitor.verdict``
+            stream event.
+        metrics: optional :class:`~repro.obs.Registry` exposing the
+            paper's run-time quantities: a per-window classification
+            latency histogram (amortized over the vectorized batch) and
+            a windows-to-alarm detection-latency gauge.
     """
 
     def __init__(
@@ -94,6 +110,8 @@ class RuntimeMonitor:
         n_counters: int = 4,
         vote_threshold: float = 0.5,
         window_ms: float = DEFAULT_WINDOW_MS,
+        tracer: Tracer | None = None,
+        metrics: Registry | None = None,
     ) -> None:
         if not detector.fitted_:
             raise RuntimeError("detector must be fitted before deployment")
@@ -110,6 +128,27 @@ class RuntimeMonitor:
         self.n_counters = n_counters
         self.vote_threshold = vote_threshold
         self.window_ms = window_ms
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._h_classify = self.metrics.histogram(
+            "monitor_window_classify_seconds",
+            "per-window classification latency (amortized over the batch)",
+            buckets=FAST_LATENCY_BUCKETS,
+        )
+        self._g_latency = self.metrics.gauge(
+            "monitor_detection_latency_windows",
+            "windows until the last monitored app crossed the alarm "
+            "threshold (-1 = never crossed)",
+        )
+        self._c_windows = self.metrics.counter(
+            "monitor_windows_total", "sampling windows classified"
+        )
+        self._c_apps = self.metrics.counter(
+            "monitor_apps_total", "application executions monitored"
+        )
+        self._c_alarms = self.metrics.counter(
+            "monitor_alarms_total", "application-level malware alarms raised"
+        )
 
     def monitor(
         self,
@@ -124,18 +163,47 @@ class RuntimeMonitor:
         substrate (container contamination); the verdict comes from the
         detector alone.
         """
-        trace = pool.run(app, n_windows, is_malware, window_ms=self.window_ms)
-        register_file = CounterRegisterFile(self.n_counters)
-        register_file.program(list(self.detector.monitored_events))
-        readings = sample_trace(register_file, trace, ALL_EVENTS)
-        flags = self.detector.predict_windows(readings)
-        fraction = float(flags.mean()) if flags.size else 0.0
-        return DetectionVerdict(
-            app_name=app.name,
-            window_flags=flags,
-            malware_fraction=fraction,
-            is_malware=fraction >= self.vote_threshold,
+        with self.tracer.span("monitor.app", app=app.name, n_windows=n_windows):
+            with self.tracer.span("monitor.execute", app=app.name):
+                trace = pool.run(
+                    app, n_windows, is_malware, window_ms=self.window_ms
+                )
+            register_file = CounterRegisterFile(self.n_counters)
+            register_file.program(list(self.detector.monitored_events))
+            with self.tracer.span("monitor.classify", app=app.name):
+                start = time.perf_counter()
+                readings = sample_trace(register_file, trace, ALL_EVENTS)
+                flags = self.detector.predict_windows(readings)
+                elapsed = time.perf_counter() - start
+            fraction = float(flags.mean()) if flags.size else 0.0
+            verdict = DetectionVerdict(
+                app_name=app.name,
+                window_flags=flags,
+                malware_fraction=fraction,
+                is_malware=fraction >= self.vote_threshold,
+            )
+        n = int(flags.size)
+        self._c_windows.inc(n)
+        if n:
+            # The detector classifies the batch vectorized; the honest
+            # per-window figure is the amortized share of that batch.
+            per_window = elapsed / n
+            for _ in range(n):
+                self._h_classify.observe(per_window)
+        latency = self.detection_latency_windows(verdict)
+        self._g_latency.set(-1 if latency is None else latency)
+        self._c_apps.inc()
+        if verdict.is_malware:
+            self._c_alarms.inc()
+        self.tracer.event(
+            "monitor.verdict",
+            app=app.name,
+            is_malware=verdict.is_malware,
+            malware_fraction=verdict.malware_fraction,
+            n_windows=verdict.n_windows,
+            detection_latency_windows=latency,
         )
+        return verdict
 
     def detection_latency_windows(self, verdict: DetectionVerdict) -> int | None:
         """First window index at which the cumulative vote crosses the

@@ -1,0 +1,72 @@
+"""repro.obs — zero-dependency observability for the evaluation pipeline.
+
+Three pieces, all free when disabled:
+
+* :mod:`repro.obs.trace` — span-based :class:`Tracer` (context-manager
+  API, monotonic durations, parent/child nesting, per-worker buffers)
+  emitting JSONL trace events.
+* :mod:`repro.obs.metrics` — :class:`Registry` of counters, gauges, and
+  fixed-bucket histograms with Prometheus text and JSON snapshot
+  exporters, mergeable across worker processes.
+* :mod:`repro.obs.sink` / :mod:`repro.obs.stats` — the unified matrix
+  progress sink and the renderers behind ``repro-hmd stats``.
+
+Instrumented components (``MatrixRunner``, ``ResultCache``,
+``RuntimeMonitor``, the CLI) default to the shared :data:`NULL_TRACER`
+and :data:`NULL_REGISTRY`, so instrumentation costs one attribute check
+unless a run opts in with ``--trace-out`` / ``--metrics-out``.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    FAST_LATENCY_BUCKETS,
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    Registry,
+)
+from repro.obs.sink import MatrixProgressSink
+from repro.obs.stats import (
+    SpanStat,
+    aggregate_spans,
+    load_metrics,
+    metrics_table,
+    span_table,
+    toplevel_wall_seconds,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    Span,
+    Tracer,
+    load_trace,
+)
+
+__all__ = [
+    "DEFAULT_LATENCY_BUCKETS",
+    "FAST_LATENCY_BUCKETS",
+    "NULL_INSTRUMENT",
+    "NULL_REGISTRY",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "TRACE_SCHEMA_VERSION",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MatrixProgressSink",
+    "MetricsError",
+    "Registry",
+    "Span",
+    "SpanStat",
+    "Tracer",
+    "aggregate_spans",
+    "load_metrics",
+    "load_trace",
+    "metrics_table",
+    "span_table",
+    "toplevel_wall_seconds",
+]

@@ -1,0 +1,73 @@
+"""One code path for matrix progress: stderr lines and trace events.
+
+The CLI used to print bespoke per-cell progress lines; trace-enabled
+runs would have needed a second callback doing almost the same thing.
+:class:`MatrixProgressSink` is the single progress consumer: wire it to
+a runner's ``progress`` argument and it renders a stderr line (when a
+stream is given) and records a ``matrix.cell`` trace event (when the
+tracer is enabled) for every completed grid cell — cache hits and
+trained cells alike.  Cell *metrics* (cached/computed counters, fit and
+eval histograms) live in ``MatrixRunner._note`` so they are counted on
+every instrumented run, CLI or programmatic.
+"""
+
+from __future__ import annotations
+
+from typing import TextIO
+
+from repro.obs.metrics import NULL_REGISTRY, Registry
+from repro.obs.trace import NULL_TRACER, Tracer
+
+
+class MatrixProgressSink:
+    """Per-cell progress consumer for serial and parallel matrix runs.
+
+    Args:
+        total: grid cells expected (for ``[ 3/96]`` style prefixes).
+        tracer: receives one ``matrix.cell`` event per completed cell.
+        metrics: counts progress lines emitted (the runner itself owns
+            the per-cell cached/computed counters).
+        stream: text stream for human-readable progress lines, or None
+            to stay silent (trace events are still recorded).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        tracer: Tracer | None = None,
+        metrics: Registry | None = None,
+        stream: TextIO | None = None,
+    ) -> None:
+        self.total = total
+        self.done = 0
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stream = stream
+        registry = metrics if metrics is not None else NULL_REGISTRY
+        self._c_lines = registry.counter(
+            "progress_lines_total", "stderr progress lines rendered"
+        )
+
+    def __call__(self, timing) -> None:
+        """Consume one :class:`~repro.analysis.matrix.MatrixTiming`."""
+        self.done += 1
+        self.tracer.event(
+            "matrix.cell",
+            config=timing.name,
+            kind=timing.kind,
+            cached=timing.cached,
+            fit_seconds=timing.fit_seconds,
+            eval_seconds=timing.eval_seconds,
+            index=self.done,
+            total=self.total,
+        )
+        if self.stream is not None:
+            source = (
+                "cache"
+                if timing.cached
+                else f"fit {timing.fit_seconds:.2f}s eval {timing.eval_seconds:.2f}s"
+            )
+            print(
+                f"[{self.done:>3d}/{self.total}] {timing.name:26s} {source}",
+                file=self.stream,
+            )
+            self._c_lines.inc()

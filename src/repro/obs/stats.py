@@ -1,0 +1,153 @@
+"""Render traces and metric snapshots for ``repro-hmd stats``.
+
+Consumes the artifacts the rest of :mod:`repro.obs` produces — a JSONL
+span/event trace (``--trace-out``) and a JSON metrics snapshot
+(``--metrics-out``) — and renders the questions a performance
+investigation starts with: where did the wall time go per stage, what
+did the counters/gauges end at, and how were the latencies distributed.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+
+@dataclass(frozen=True)
+class SpanStat:
+    """Aggregate of every span sharing one name."""
+
+    name: str
+    count: int
+    total_seconds: float
+    min_seconds: float
+    max_seconds: float
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+def aggregate_spans(events: list[dict]) -> list[SpanStat]:
+    """Per-name span aggregates, sorted by total time descending."""
+    groups: dict[str, list[float]] = {}
+    for event in events:
+        if event.get("type") == "span" and "dur" in event:
+            groups.setdefault(event["name"], []).append(float(event["dur"]))
+    stats = [
+        SpanStat(name, len(durs), sum(durs), min(durs), max(durs))
+        for name, durs in groups.items()
+    ]
+    return sorted(stats, key=lambda s: s.total_seconds, reverse=True)
+
+
+def toplevel_wall_seconds(events: list[dict]) -> float:
+    """Summed duration of root spans (no parent) — the traced wall time.
+
+    Root spans do not overlap within one thread of one process, so for
+    the single-threaded CLI stages their sum is the command's measured
+    wall time; nested spans are excluded to avoid double counting.
+    """
+    return sum(
+        float(event["dur"])
+        for event in events
+        if event.get("type") == "span" and event.get("parent_id") is None
+    )
+
+
+def span_table(events: list[dict]) -> str:
+    """Per-stage latency table of one trace, plus totals footer."""
+    stats = aggregate_spans(events)
+    n_events = sum(1 for e in events if e.get("type") == "event")
+    if not stats:
+        return f"Trace summary — no spans recorded ({n_events} point events)"
+    wall = toplevel_wall_seconds(events)
+    lines = [
+        "Trace summary — per-stage wall time",
+        f"{'stage':26s} {'count':>6s} {'total s':>9s} {'mean ms':>9s} "
+        f"{'min ms':>9s} {'max ms':>9s} {'of wall':>8s}",
+    ]
+    for s in stats:
+        share = f"{100.0 * s.total_seconds / wall:.1f}%" if wall > 0 else "-"
+        lines.append(
+            f"{s.name:26s} {s.count:>6d} {s.total_seconds:>9.3f} "
+            f"{s.mean_seconds * 1e3:>9.2f} {s.min_seconds * 1e3:>9.2f} "
+            f"{s.max_seconds * 1e3:>9.2f} {share:>8s}"
+        )
+    n_roots = sum(
+        1
+        for e in events
+        if e.get("type") == "span" and e.get("parent_id") is None
+    )
+    lines.append(
+        f"traced wall: {wall:.3f}s over {n_roots} root spans; "
+        f"{sum(s.count for s in stats)} spans, {n_events} point events "
+        "(nested stages overlap their parents)"
+    )
+    return "\n".join(lines)
+
+
+def load_metrics(path: str | Path) -> dict:
+    """Read a snapshot written by ``Registry.dump`` / ``--metrics-out``."""
+    snapshot = json.loads(Path(path).read_text())
+    if not isinstance(snapshot, dict):
+        raise ValueError(f"metrics file {path} does not hold a snapshot object")
+    return snapshot
+
+
+def _histogram_quantile(data: dict, q: float) -> float:
+    """Upper-bound estimate of quantile ``q`` from bucket counts."""
+    target = q * data["count"]
+    cumulative = 0
+    for bound, count in zip(data["buckets"], data["counts"]):
+        cumulative += count
+        if cumulative >= target:
+            return float(bound)
+    return float("inf")
+
+
+def metrics_table(snapshot: dict) -> str:
+    """Counter/gauge summary plus histogram latency digests."""
+    lines = ["Metrics summary"]
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        for name, data in sorted(counters.items()):
+            lines.append(f"  {name:38s} {_num(data['value']):>12s}")
+    if gauges:
+        lines.append("gauges:")
+        for name, data in sorted(gauges.items()):
+            lines.append(f"  {name:38s} {_num(data['value']):>12s}")
+    if histograms:
+        lines.append("histograms:")
+        lines.append(
+            f"  {'name':38s} {'count':>7s} {'mean ms':>9s} "
+            f"{'p50 ms':>9s} {'p95 ms':>9s} {'sum s':>9s}"
+        )
+        for name, data in sorted(histograms.items()):
+            count = data["count"]
+            mean = data["sum"] / count if count else 0.0
+            p50 = _histogram_quantile(data, 0.50) if count else 0.0
+            p95 = _histogram_quantile(data, 0.95) if count else 0.0
+            lines.append(
+                f"  {name:38s} {count:>7d} {mean * 1e3:>9.3f} "
+                f"{_ms(p50):>9s} {_ms(p95):>9s} {data['sum']:>9.3f}"
+            )
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def _num(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.3f}"
+
+
+def _ms(seconds: float) -> str:
+    if seconds == float("inf"):
+        return "+Inf"
+    return f"{seconds * 1e3:.3f}"

@@ -152,3 +152,45 @@ def test_len_and_clear(tmp_path):
 
 def test_cache_error_is_runtime_error():
     assert issubclass(CacheError, RuntimeError)
+
+
+# ----------------------------------------------------------------------
+# cache metrics
+# ----------------------------------------------------------------------
+
+def test_cache_publishes_hit_miss_corrupt_and_write_metrics(tmp_path):
+    from repro.obs import Registry
+
+    metrics = Registry()
+    cache = ResultCache(tmp_path / "cache", metrics=metrics)
+    record = EvalRecord("OneR", "general", 2, 0.7, 0.8)
+    key = "ab" + "0" * 62
+
+    assert cache.get(key) is None          # miss
+    cache.put(key, record)                 # write
+    assert cache.get(key) == record        # hit
+    cache.path_of(key).write_text("{ torn")  # corrupt -> miss + discard
+    assert cache.get(key) is None
+
+    snap = metrics.snapshot()
+    counters = {name: data["value"] for name, data in snap["counters"].items()}
+    assert counters["cache_hits_total"] == 1.0
+    assert counters["cache_misses_total"] == 2.0
+    assert counters["cache_corrupt_total"] == 1.0
+    assert counters["cache_writes_total"] == 1.0
+    assert counters["cache_bytes_written_total"] > 0
+    write_hist = snap["histograms"]["cache_write_seconds"]
+    assert write_hist["count"] == 1
+    assert write_hist["sum"] > 0.0
+    # The registry view agrees with the in-process CacheStats.
+    assert cache.stats.hits == 1 and cache.stats.misses == 2
+    assert cache.stats.corrupt == 1 and cache.stats.writes == 1
+
+
+def test_cache_without_metrics_still_tracks_stats(tmp_path):
+    cache = ResultCache(tmp_path / "cache")
+    record = EvalRecord("OneR", "general", 2, 0.7, 0.8)
+    key = "cd" + "1" * 62
+    cache.put(key, record)
+    assert cache.get(key) == record
+    assert cache.stats.hits == 1 and cache.stats.writes == 1

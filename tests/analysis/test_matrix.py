@@ -3,7 +3,8 @@
 import pytest
 
 from repro.analysis.cache import CacheError
-from repro.analysis.matrix import MatrixRunner, load_records, paper_grid, save_records, table3_grid
+from repro.analysis.matrix import MatrixRunner, MatrixTiming, load_records, paper_grid, save_records, table3_grid
+from repro.obs import Registry, Tracer
 from repro.analysis.records import EvalRecord, HardwareRecord, RocRecord
 from repro.core.config import DetectorConfig
 
@@ -137,3 +138,90 @@ def test_timings_recorded(small_corpus):
     assert [t.kind for t in runner.timings] == ["eval", "hardware"]
     assert all(t.fit_seconds > 0.0 and not t.cached for t in runner.timings)
     assert runner.n_fits == 2
+
+
+# ----------------------------------------------------------------------
+# MatrixTiming aggregation
+# ----------------------------------------------------------------------
+
+def test_matrix_timing_total_seconds_sums_fit_and_eval():
+    timing = MatrixTiming("2HPC-OneR", "eval", 1.25, 0.75)
+    assert timing.total_seconds == pytest.approx(2.0)
+
+
+def test_matrix_timing_cached_cell_totals_zero():
+    timing = MatrixTiming("2HPC-OneR", "eval", 0.0, 0.0, cached=True)
+    assert timing.total_seconds == 0.0
+
+
+def test_matrix_timing_aggregation_over_a_run():
+    """Summing total_seconds over a timing list equals summing parts —
+    the invariant the CLI timing table's 'compute' footer relies on."""
+    timings = [
+        MatrixTiming("a", "eval", 0.5, 0.25),
+        MatrixTiming("b", "hardware", 1.0, 0.5, cached=False),
+        MatrixTiming("c", "roc", 0.0, 0.0, cached=True),
+    ]
+    total = sum(t.total_seconds for t in timings)
+    assert total == pytest.approx(
+        sum(t.fit_seconds for t in timings) + sum(t.eval_seconds for t in timings)
+    )
+    compute = sum(t.total_seconds for t in timings if not t.cached)
+    assert compute == pytest.approx(2.25)
+
+
+def test_load_records_truncated_mid_crash(tmp_path, runner):
+    """A legacy whole-file cache cut off mid-write (partial JSON) must
+    raise CacheError, not return a short record list."""
+    records = [
+        runner.evaluate(DetectorConfig("OneR", "general", 2)),
+        runner.hardware(DetectorConfig("OneR", "general", 2)),
+    ]
+    path = tmp_path / "records.json"
+    save_records(path, records)
+    full = path.read_text()
+    path.write_text(full[: int(len(full) * 0.6)])  # simulate crash mid-write
+    with pytest.raises(CacheError, match="corrupt or partially written"):
+        load_records(path)
+
+
+# ----------------------------------------------------------------------
+# observability instrumentation
+# ----------------------------------------------------------------------
+
+def test_runner_traces_fit_eval_and_ranking_spans(small_corpus):
+    tracer = Tracer()
+    runner = MatrixRunner(small_corpus, seeds=(7,), tracer=tracer)
+    runner.evaluate(DetectorConfig("OneR", "general", 2))
+    names = [e["name"] for e in tracer.events]
+    assert "matrix.ranking" in names
+    assert "matrix.fit" in names
+    assert "matrix.eval" in names
+    fit = next(e for e in tracer.events if e["name"] == "matrix.fit")
+    assert fit["attrs"]["config"] == "2HPC-OneR"
+
+
+def test_runner_counts_cached_vs_computed_cells(small_corpus, tmp_path):
+    from repro.analysis.cache import ResultCache
+
+    metrics = Registry()
+    cache = ResultCache(tmp_path / "cache")
+    runner = MatrixRunner(small_corpus, seeds=(7,), cache=cache, metrics=metrics)
+    config = DetectorConfig("OneR", "general", 2)
+    runner.evaluate(config)
+    runner2 = MatrixRunner(small_corpus, seeds=(7,), cache=cache, metrics=metrics)
+    runner2.evaluate(config)
+    snap = metrics.snapshot()
+    assert snap["counters"]["matrix_cells_computed_total"]["value"] == 1.0
+    assert snap["counters"]["matrix_cells_cached_total"]["value"] == 1.0
+    assert snap["counters"]["matrix_rankings_computed_total"]["value"] == 1.0
+    assert snap["histograms"]["matrix_fit_seconds"]["count"] == 1
+
+
+def test_runner_without_obs_records_nothing(small_corpus):
+    """Default construction uses the shared disabled singletons."""
+    runner = MatrixRunner(small_corpus, seeds=(7,))
+    runner.evaluate(DetectorConfig("OneR", "general", 2))
+    assert runner.tracer.enabled is False
+    assert runner.metrics.enabled is False
+    assert runner.tracer.events == []

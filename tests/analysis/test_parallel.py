@@ -148,3 +148,55 @@ def test_record_types(small_corpus):
     runner = ParallelMatrixRunner(small_corpus, seeds=(7,), workers=2)
     assert all(isinstance(r, HardwareRecord) for r in runner.hardware_grid(HW_SLICE))
     assert all(isinstance(r, RocRecord) for r in runner.roc_grid(HW_SLICE))
+
+
+# ----------------------------------------------------------------------
+# observability across the process pool
+# ----------------------------------------------------------------------
+
+def test_parallel_run_merges_worker_traces_and_metrics(small_corpus):
+    from repro.obs import Registry, Tracer
+
+    tracer = Tracer()
+    metrics = Registry()
+    runner = ParallelMatrixRunner(
+        small_corpus, seeds=(7,), workers=2, tracer=tracer, metrics=metrics
+    )
+    records = runner.evaluate_grid(SLICE[:4])
+    assert all(r is not None for r in records)
+
+    # Worker spans were drained back and merged into the parent tracer.
+    fit_spans = [e for e in tracer.events if e["name"] == "matrix.fit"]
+    assert len(fit_spans) == 4
+    import os
+
+    assert all(e["pid"] != os.getpid() for e in fit_spans)
+
+    # Cell counters are parent-side; they must match the grid exactly.
+    snap = metrics.snapshot()
+    assert snap["counters"]["matrix_cells_computed_total"]["value"] == 4.0
+    assert snap["histograms"]["matrix_fit_seconds"]["count"] == 4
+    # Each worker computed its shared ranking once; merged counts add up.
+    assert 1.0 <= snap["counters"]["matrix_rankings_computed_total"]["value"] <= 2.0
+
+
+def test_parallel_obs_disabled_ships_no_payloads(small_corpus):
+    """The default path returns empty observability payloads (pickle-free)."""
+    runner = ParallelMatrixRunner(small_corpus, seeds=(7,), workers=2)
+    runner.evaluate_grid(SLICE[:2])
+    assert runner.tracer.events == []
+    assert runner.metrics.snapshot() == {
+        "counters": {}, "gauges": {}, "histograms": {},
+    }
+
+
+def test_make_matrix_runner_threads_obs_through(small_corpus):
+    from repro.obs import Registry, Tracer
+
+    tracer, metrics = Tracer(), Registry()
+    serial = make_matrix_runner(small_corpus, tracer=tracer, metrics=metrics)
+    assert serial.tracer is tracer and serial.metrics is metrics
+    parallel = make_matrix_runner(
+        small_corpus, workers=2, tracer=tracer, metrics=metrics
+    )
+    assert parallel.tracer is tracer and parallel.metrics is metrics

@@ -121,3 +121,67 @@ def test_detection_latency_none_when_never_flagged(detector4):
         malware_fraction=0.0, is_malware=False,
     )
     assert monitor.detection_latency_windows(verdict) is None
+
+
+# ----------------------------------------------------------------------
+# run-time observability: the paper's detection-latency metric, measured
+# ----------------------------------------------------------------------
+
+def test_monitor_metrics_expose_window_latency_and_detection_latency(detector4):
+    from repro.obs import Registry, Tracer
+
+    tracer, metrics = Tracer(), Registry()
+    monitor = RuntimeMonitor(detector4, n_counters=4, tracer=tracer, metrics=metrics)
+    app = MALWARE_FAMILIES[0].instantiate(np.random.default_rng(3))[0]
+    verdict = monitor.monitor(app, 16, ContainerPool(seed=5), is_malware=True)
+
+    snap = metrics.snapshot()
+    # Per-window classification latency histogram: one observation per window.
+    hist = snap["histograms"]["monitor_window_classify_seconds"]
+    assert hist["count"] == 16
+    assert hist["sum"] > 0.0
+    # Detection-latency gauge mirrors detection_latency_windows exactly.
+    latency = monitor.detection_latency_windows(verdict)
+    gauge = snap["gauges"]["monitor_detection_latency_windows"]["value"]
+    assert gauge == (-1 if latency is None else latency)
+    counters = {n: d["value"] for n, d in snap["counters"].items()}
+    assert counters["monitor_windows_total"] == 16.0
+    assert counters["monitor_apps_total"] == 1.0
+    assert counters["monitor_alarms_total"] == (1.0 if verdict.is_malware else 0.0)
+
+
+def test_monitor_traces_spans_and_verdict_stream(detector4):
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    monitor = RuntimeMonitor(detector4, n_counters=4, tracer=tracer)
+    app = BENIGN_FAMILIES[0].instantiate(np.random.default_rng(4))[0]
+    monitor.monitor(app, 8, ContainerPool(seed=6), is_malware=False)
+
+    spans = {e["name"] for e in tracer.events if e["type"] == "span"}
+    assert {"monitor.app", "monitor.execute", "monitor.classify"} <= spans
+    (verdict_event,) = [e for e in tracer.events if e["type"] == "event"]
+    assert verdict_event["name"] == "monitor.verdict"
+    attrs = verdict_event["attrs"]
+    assert attrs["app"] == app.name
+    assert attrs["n_windows"] == 8
+    assert "detection_latency_windows" in attrs
+    # execute/classify nest under the per-app span.
+    app_span = next(e for e in tracer.events if e["name"] == "monitor.app")
+    child = next(e for e in tracer.events if e["name"] == "monitor.classify")
+    assert child["parent_id"] == app_span["span_id"]
+
+
+def test_monitor_verdict_unchanged_by_instrumentation(detector4):
+    """Telemetry must observe, never perturb: verdicts are bit-identical
+    with and without an enabled tracer/registry."""
+    from repro.obs import Registry, Tracer
+
+    app = MALWARE_FAMILIES[1].instantiate(np.random.default_rng(9))[0]
+    plain = RuntimeMonitor(detector4, n_counters=4).monitor(
+        app, 12, ContainerPool(seed=8), is_malware=True
+    )
+    instrumented = RuntimeMonitor(
+        detector4, n_counters=4, tracer=Tracer(), metrics=Registry()
+    ).monitor(app, 12, ContainerPool(seed=8), is_malware=True)
+    assert plain == instrumented

@@ -105,3 +105,126 @@ def test_evasion_command(capsys):
     out = capsys.readouterr().out
     assert "payload kept" in out
     assert "60%" in out
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert f"repro-hmd {__version__}" in capsys.readouterr().out
+
+
+def test_matrix_trace_and_metrics_out(capsys, tmp_path):
+    """--trace-out/--metrics-out produce files stats can render, and the
+    top-level stage spans account for the command's wall time."""
+    import time
+
+    from repro.obs import load_metrics, load_trace, toplevel_wall_seconds
+
+    trace = tmp_path / "run.jsonl"
+    metrics = tmp_path / "run.json"
+    start = time.perf_counter()
+    rc = main([
+        "matrix", *FAST,
+        "--classifiers", "OneR", "--budgets", "2", "--ensembles", "general",
+        "--trace-out", str(trace), "--metrics-out", str(metrics),
+    ])
+    wall = time.perf_counter() - start
+    assert rc == 0
+    capsys.readouterr()
+
+    events = load_trace(trace)
+    names = {e["name"] for e in events}
+    assert {"cli.corpus", "cli.grid", "cli.render", "matrix.fit",
+            "matrix.cell"} <= names
+    # Acceptance: root-span totals sum to within 5% of measured wall time.
+    traced = toplevel_wall_seconds(events)
+    assert traced <= wall * 1.01
+    assert traced >= wall * 0.95
+
+    snap = load_metrics(metrics)
+    assert snap["counters"]["matrix_cells_computed_total"]["value"] == 1.0
+    assert snap["histograms"]["matrix_fit_seconds"]["count"] == 1
+
+    rc = main(["stats", "--trace", str(trace), "--metrics", str(metrics)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Trace summary" in out
+    assert "cli.grid" in out
+    assert "Metrics summary" in out
+    assert "matrix_cells_computed_total" in out
+
+
+def test_matrix_cache_metrics_via_cli(capsys, tmp_path):
+    metrics = tmp_path / "m.json"
+    args = [
+        "matrix", *FAST,
+        "--classifiers", "OneR", "--budgets", "2", "--ensembles", "general",
+        "--cache-dir", str(tmp_path / "cache"), "--metrics-out", str(metrics),
+    ]
+    assert main(args) == 0
+    assert main(args) == 0  # warm: all cells from cache
+    capsys.readouterr()
+    import json
+
+    snap = json.loads(metrics.read_text())
+    assert snap["counters"]["matrix_cells_cached_total"]["value"] == 1.0
+    assert snap["counters"]["cache_hits_total"]["value"] == 1.0
+
+
+def test_monitor_trace_and_metrics_out(capsys, tmp_path):
+    from repro.obs import load_metrics, load_trace
+
+    trace = tmp_path / "mon.jsonl"
+    metrics = tmp_path / "mon.json"
+    rc = main([
+        "monitor", *FAST,
+        "--classifier", "OneR", "--ensemble", "general",
+        "--hpcs", "2", "--stride", "6", "--windows", "8",
+        "--trace-out", str(trace), "--metrics-out", str(metrics),
+    ])
+    assert rc == 0
+    capsys.readouterr()
+    names = {e["name"] for e in load_trace(trace)}
+    assert {"cli.fit", "cli.monitor", "monitor.app", "monitor.verdict"} <= names
+    snap = load_metrics(metrics)
+    assert snap["histograms"]["monitor_window_classify_seconds"]["count"] > 0
+    assert "monitor_detection_latency_windows" in snap["gauges"]
+
+
+def test_crossval_trace_out(capsys, tmp_path):
+    from repro.obs import load_trace
+
+    trace = tmp_path / "cv.jsonl"
+    rc = main([
+        "crossval", *FAST,
+        "--classifiers", "OneR", "--hpcs", "2", "--folds", "3",
+        "--trace-out", str(trace),
+    ])
+    assert rc == 0
+    capsys.readouterr()
+    names = {e["name"] for e in load_trace(trace)}
+    assert {"cli.corpus", "cli.crossval", "crossval.record"} <= names
+
+
+def test_stats_requires_an_input():
+    with pytest.raises(SystemExit, match="needs --trace"):
+        main(["stats"])
+
+
+def test_stats_missing_file_is_a_clean_error(tmp_path):
+    with pytest.raises(SystemExit, match="error"):
+        main(["stats", "--trace", str(tmp_path / "nope.jsonl")])
+
+
+def test_timings_progress_goes_through_the_sink(capsys):
+    rc = main([
+        "matrix", *FAST,
+        "--classifiers", "OneR", "--budgets", "2", "--ensembles", "general",
+        "--timings",
+    ])
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "[  1/1] 2HPC-OneR" in err

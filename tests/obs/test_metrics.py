@@ -1,0 +1,169 @@
+"""Metrics registry: instruments, exporters, merge, disabled no-op."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    FAST_LATENCY_BUCKETS,
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    MetricsError,
+    Registry,
+)
+
+
+def test_counter_accumulates_and_rejects_decrease():
+    registry = Registry()
+    counter = registry.counter("ops_total")
+    counter.inc()
+    counter.inc(2.5)
+    assert counter.value == 3.5
+    with pytest.raises(ValueError):
+        counter.inc(-1)
+
+
+def test_gauge_takes_last_value():
+    gauge = Registry().gauge("depth")
+    gauge.set(4)
+    gauge.set(-2)
+    assert gauge.value == -2.0
+
+
+def test_histogram_bucket_placement_is_le_semantics():
+    hist = Registry().histogram("lat", buckets=(0.01, 0.1, 1.0))
+    hist.observe(0.01)   # equal to a bound -> that bucket (le)
+    hist.observe(0.05)
+    hist.observe(5.0)    # above all bounds -> +Inf bucket
+    assert hist.counts == [1, 1, 0, 1]
+    assert hist.count == 3
+    assert hist.sum == pytest.approx(5.06)
+    assert hist.mean == pytest.approx(5.06 / 3)
+
+
+def test_histogram_requires_ascending_buckets():
+    registry = Registry()
+    with pytest.raises(MetricsError, match="ascending"):
+        registry.histogram("bad", buckets=(1.0, 0.5))
+    with pytest.raises(MetricsError, match="ascending"):
+        registry.histogram("empty", buckets=())
+
+
+def test_get_or_create_returns_same_instrument():
+    registry = Registry()
+    assert registry.counter("c") is registry.counter("c")
+    assert registry.histogram("h") is registry.histogram("h")
+
+
+def test_kind_collision_raises():
+    registry = Registry()
+    registry.counter("name")
+    with pytest.raises(MetricsError, match="already registered as counter"):
+        registry.gauge("name")
+
+
+def test_histogram_bucket_redefinition_raises():
+    registry = Registry()
+    registry.histogram("h", buckets=(1.0, 2.0))
+    with pytest.raises(MetricsError, match="different buckets"):
+        registry.histogram("h", buckets=FAST_LATENCY_BUCKETS)
+
+
+def test_invalid_metric_name_raises():
+    with pytest.raises(MetricsError, match="invalid metric name"):
+        Registry().counter("no spaces allowed")
+
+
+def test_disabled_registry_hands_out_shared_null_instrument():
+    registry = Registry(enabled=False)
+    counter = registry.counter("anything")
+    assert counter is NULL_INSTRUMENT
+    counter.inc()
+    registry.histogram("h").observe(1.0)
+    registry.gauge("g").set(2.0)
+    assert registry.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+    assert registry.to_prometheus() == ""
+    assert NULL_REGISTRY.enabled is False
+
+
+def test_snapshot_shape():
+    registry = Registry()
+    registry.counter("c", "help c").inc(2)
+    registry.gauge("g").set(7)
+    registry.histogram("h", buckets=(1.0,)).observe(0.5)
+    snap = registry.snapshot()
+    assert snap["counters"]["c"] == {"help": "help c", "value": 2.0}
+    assert snap["gauges"]["g"]["value"] == 7.0
+    assert snap["histograms"]["h"] == {
+        "help": "", "buckets": [1.0], "counts": [1, 0], "sum": 0.5, "count": 1,
+    }
+    json.dumps(snap)  # snapshot must be JSON-ready
+
+
+def test_merge_adds_counters_and_histograms_keeps_last_gauge():
+    a, b = Registry(), Registry()
+    for registry, n in ((a, 1), (b, 2)):
+        registry.counter("c").inc(n)
+        registry.gauge("g").set(n)
+        registry.histogram("h", buckets=(1.0,)).observe(n / 10)
+    a.merge(b.snapshot())
+    snap = a.snapshot()
+    assert snap["counters"]["c"]["value"] == 3.0
+    assert snap["gauges"]["g"]["value"] == 2.0
+    assert snap["histograms"]["h"]["count"] == 2
+    assert snap["histograms"]["h"]["sum"] == pytest.approx(0.3)
+
+
+def test_merge_into_empty_registry_creates_instruments():
+    src = Registry()
+    src.counter("c").inc(5)
+    dst = Registry()
+    dst.merge(src.snapshot())
+    assert dst.snapshot()["counters"]["c"]["value"] == 5.0
+
+
+def test_merge_mismatched_histogram_buckets_raises():
+    a, b = Registry(), Registry()
+    a.histogram("h", buckets=(1.0,))
+    b.histogram("h", buckets=(1.0, 2.0))
+    with pytest.raises(MetricsError, match="different buckets"):
+        a.merge(b.snapshot())
+
+
+def test_drain_snapshots_then_resets():
+    registry = Registry()
+    registry.counter("c").inc(4)
+    registry.histogram("h", buckets=(1.0,)).observe(0.5)
+    snap = registry.drain()
+    assert snap["counters"]["c"]["value"] == 4.0
+    after = registry.snapshot()
+    assert after["counters"]["c"]["value"] == 0.0
+    assert after["histograms"]["h"]["count"] == 0
+    assert after["histograms"]["h"]["counts"] == [0, 0]
+
+
+def test_prometheus_text_format():
+    registry = Registry()
+    registry.counter("ops_total", "operations").inc(3)
+    registry.gauge("depth").set(1.5)
+    registry.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.05)
+    text = registry.to_prometheus()
+    assert "# HELP ops_total operations" in text
+    assert "# TYPE ops_total counter" in text
+    assert "ops_total 3" in text
+    assert "depth 1.5" in text
+    assert '# TYPE lat_seconds histogram' in text
+    assert 'lat_seconds_bucket{le="0.1"} 1' in text
+    assert 'lat_seconds_bucket{le="1"} 1' in text
+    assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "lat_seconds_sum 0.05" in text
+    assert "lat_seconds_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_dump_writes_json_snapshot(tmp_path):
+    registry = Registry()
+    registry.counter("c").inc()
+    path = tmp_path / "metrics.json"
+    registry.dump(path)
+    assert json.loads(path.read_text()) == registry.snapshot()

@@ -1,0 +1,108 @@
+"""Stats renderers: span aggregation, wall-time accounting, metrics tables."""
+
+import pytest
+
+from repro.obs import (
+    MatrixProgressSink,
+    Registry,
+    Tracer,
+    aggregate_spans,
+    metrics_table,
+    span_table,
+    toplevel_wall_seconds,
+)
+
+
+def _span(name, dur, parent_id=None):
+    return {
+        "type": "span", "name": name, "ts": 0.0, "dur": dur,
+        "span_id": 1, "parent_id": parent_id, "pid": 1, "tid": 1,
+    }
+
+
+def test_aggregate_spans_groups_by_name_sorted_by_total():
+    events = [
+        _span("fit", 1.0), _span("fit", 3.0, parent_id=9), _span("eval", 0.5),
+        {"type": "event", "name": "cell", "ts": 0.0, "pid": 1, "tid": 1},
+    ]
+    fit, eval_ = aggregate_spans(events)
+    assert (fit.name, fit.count, fit.total_seconds) == ("fit", 2, 4.0)
+    assert fit.min_seconds == 1.0 and fit.max_seconds == 3.0
+    assert fit.mean_seconds == 2.0
+    assert eval_.name == "eval"
+
+
+def test_toplevel_wall_excludes_nested_spans():
+    events = [_span("root", 2.0), _span("child", 1.5, parent_id=1)]
+    assert toplevel_wall_seconds(events) == 2.0
+
+
+def test_span_table_renders_stages_and_footer():
+    events = [_span("cli.grid", 2.0), _span("matrix.fit", 1.5, parent_id=1)]
+    table = span_table(events)
+    assert "cli.grid" in table
+    assert "matrix.fit" in table
+    assert "traced wall: 2.000s" in table
+    assert "1 root spans" in table
+
+
+def test_span_table_handles_empty_trace():
+    assert "no spans" in span_table([])
+
+
+def test_metrics_table_renders_all_kinds():
+    registry = Registry()
+    registry.counter("cache_hits_total").inc(12)
+    registry.gauge("latency_windows").set(3)
+    registry.histogram("fit_seconds", buckets=(0.1, 1.0)).observe(0.05)
+    table = metrics_table(registry.snapshot())
+    assert "cache_hits_total" in table and "12" in table
+    assert "latency_windows" in table
+    assert "fit_seconds" in table
+    assert "p50 ms" in table
+
+
+def test_metrics_table_handles_empty_snapshot():
+    assert "no metrics" in metrics_table(Registry().snapshot())
+
+
+class _FakeTiming:
+    name = "2HPC-OneR"
+    kind = "eval"
+    fit_seconds = 0.5
+    eval_seconds = 0.25
+    cached = False
+
+
+def test_progress_sink_is_one_code_path_for_stream_and_trace(capsys):
+    import sys
+
+    tracer = Tracer()
+    sink = MatrixProgressSink(4, tracer=tracer, stream=sys.stderr)
+    sink(_FakeTiming())
+    err = capsys.readouterr().err
+    assert "[  1/4] 2HPC-OneR" in err
+    assert "fit 0.50s" in err
+    (event,) = tracer.events
+    assert event["name"] == "matrix.cell"
+    assert event["attrs"]["config"] == "2HPC-OneR"
+    assert event["attrs"]["cached"] is False
+
+
+def test_progress_sink_silent_without_stream_still_traces(capsys):
+    tracer = Tracer()
+    sink = MatrixProgressSink(1, tracer=tracer, stream=None)
+    sink(_FakeTiming())
+    assert capsys.readouterr().err == ""
+    assert len(tracer.events) == 1
+
+
+def test_progress_sink_counts_lines(capsys):
+    import sys
+
+    registry = Registry()
+    sink = MatrixProgressSink(2, metrics=registry, stream=sys.stderr)
+    sink(_FakeTiming())
+    sink(_FakeTiming())
+    capsys.readouterr()
+    assert registry.snapshot()["counters"]["progress_lines_total"]["value"] == 2.0

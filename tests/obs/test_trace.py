@@ -1,0 +1,148 @@
+"""Span tracer: nesting, disabled no-op, threads, JSONL round-trip."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import NULL_SPAN, NULL_TRACER, Tracer, load_trace
+
+
+def test_span_records_duration_and_name():
+    tracer = Tracer()
+    with tracer.span("work", size=3):
+        pass
+    (event,) = tracer.events
+    assert event["type"] == "span"
+    assert event["name"] == "work"
+    assert event["dur"] >= 0.0
+    assert event["parent_id"] is None
+    assert event["attrs"] == {"size": 3}
+
+
+def test_span_nesting_records_parentage():
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner") as inner:
+            pass
+    inner_event, outer_event = tracer.events
+    assert inner_event["name"] == "inner"
+    assert inner_event["parent_id"] == outer.span_id
+    assert outer_event["parent_id"] is None
+    assert inner.span_id != outer.span_id
+
+
+def test_sibling_spans_share_parent():
+    tracer = Tracer()
+    with tracer.span("root") as root:
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+    a, b, _ = tracer.events
+    assert a["parent_id"] == root.span_id
+    assert b["parent_id"] == root.span_id
+
+
+def test_span_set_attaches_attrs_mid_flight():
+    tracer = Tracer()
+    with tracer.span("work") as span:
+        span.set(rows=10)
+    (event,) = tracer.events
+    assert event["attrs"] == {"rows": 10}
+
+
+def test_span_records_exception_and_propagates():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("explodes"):
+            raise ValueError("boom")
+    (event,) = tracer.events
+    assert event["error"] == "ValueError"
+
+
+def test_point_event():
+    tracer = Tracer()
+    tracer.event("verdict", app="x", flagged=True)
+    (event,) = tracer.events
+    assert event["type"] == "event"
+    assert event["attrs"] == {"app": "x", "flagged": True}
+    assert "dur" not in event
+
+
+def test_disabled_tracer_is_a_shared_noop():
+    tracer = Tracer(enabled=False)
+    span = tracer.span("anything", big=1)
+    assert span is NULL_SPAN
+    with span:
+        pass
+    tracer.event("anything")
+    assert tracer.events == []
+    assert NULL_TRACER.enabled is False
+
+
+def test_threads_trace_independently():
+    tracer = Tracer()
+
+    def worker(name):
+        with tracer.span(name):
+            with tracer.span(f"{name}.child"):
+                pass
+
+    threads = [threading.Thread(target=worker, args=(f"t{i}",)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    events = tracer.events
+    assert len(events) == 8
+    roots = {e["name"]: e for e in events if e["parent_id"] is None}
+    assert set(roots) == {"t0", "t1", "t2", "t3"}
+    for e in events:
+        if e["parent_id"] is not None:
+            parent_name = e["name"].split(".")[0]
+            assert e["parent_id"] == roots[parent_name]["span_id"]
+
+
+def test_drain_and_absorb_merge_worker_buffers():
+    parent, worker = Tracer(), Tracer()
+    with worker.span("worker.work"):
+        pass
+    events = worker.drain()
+    assert worker.events == []
+    parent.absorb(events)
+    assert [e["name"] for e in parent.events] == ["worker.work"]
+
+
+def test_dump_and_load_roundtrip(tmp_path):
+    tracer = Tracer()
+    with tracer.span("a", k="v"):
+        pass
+    tracer.event("b")
+    path = tmp_path / "trace.jsonl"
+    assert tracer.dump(path) == 2
+    assert load_trace(path) == tracer.events
+
+
+def test_load_trace_skips_crash_truncated_tail(tmp_path):
+    tracer = Tracer()
+    with tracer.span("kept"):
+        pass
+    path = tmp_path / "trace.jsonl"
+    tracer.dump(path)
+    with open(path, "a") as handle:
+        handle.write('{"type": "span", "name": "torn')  # crash mid-write
+    events = load_trace(path)
+    assert [e["name"] for e in events] == ["kept"]
+
+
+def test_dumped_lines_are_independent_json(tmp_path):
+    tracer = Tracer()
+    for i in range(3):
+        tracer.event("e", i=i)
+    path = tmp_path / "trace.jsonl"
+    tracer.dump(path)
+    lines = path.read_text().strip().splitlines()
+    assert len(lines) == 3
+    for line in lines:
+        json.loads(line)
