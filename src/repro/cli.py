@@ -8,12 +8,13 @@ Installed as ``repro-hmd``.  Subcommands:
 * ``matrix``   — run a slice of the paper's evaluation grid.
 * ``hardware`` — reproduce Table 3 (hardware cost estimates).
 * ``monitor``  — run-time detection demo on freshly executed applications.
+* ``fleet``    — fault-tolerant fleet monitoring with optional fault injection.
 * ``verilog``  — emit RTL for a trained detector.
 * ``crossval`` — cross-validated scores with error bars.
 * ``evasion``  — malware recall vs evasion strength.
 * ``stats``    — summarize a trace/metrics file from a previous run.
 
-``matrix``/``hardware``/``monitor``/``crossval`` accept
+``matrix``/``hardware``/``monitor``/``fleet``/``crossval`` accept
 ``--trace-out PATH`` (JSONL span/event trace) and ``--metrics-out
 PATH`` (JSON metrics snapshot); instrumentation is off — and free —
 unless one of them is given.
@@ -38,10 +39,18 @@ from repro.analysis import (
     table3_table,
     timing_table,
 )
-from repro.core import CLASSIFIER_NAMES, DetectorConfig, HMDDetector, RuntimeMonitor
+from repro.core import (
+    CLASSIFIER_NAMES,
+    DetectorConfig,
+    FleetJob,
+    FleetMonitor,
+    HMDDetector,
+    RetryPolicy,
+    RuntimeMonitor,
+)
 from repro.core.config import ENSEMBLE_MODES
 from repro.features import rank_features
-from repro.hpc import ContainerPool
+from repro.hpc import ContainerPool, FaultPlan
 from repro.ml import app_level_split
 from repro.obs import (
     MatrixProgressSink,
@@ -107,6 +116,55 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _vote_threshold(text: str) -> float:
+    """Validate --vote-threshold against the (0, 1] constructor check."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a number: {text!r}") from None
+    if not 0.0 < value <= 1.0:
+        raise argparse.ArgumentTypeError(f"must be in (0, 1], got {text}")
+    return value
+
+
+#: --faults key → FaultPlan field.
+_FAULT_KEYS = {
+    "crash": "crash_rate",
+    "glitch": "glitch_rate",
+    "drop": "drop_rate",
+    "permanent": "permanent_rate",
+}
+
+
+def _fault_rates(text: str) -> dict:
+    """Parse ``crash=0.2,glitch=0.1,drop=0.05,permanent=0.01`` specs."""
+    rates: dict = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, raw = part.partition("=")
+        if not sep or key not in _FAULT_KEYS:
+            known = "/".join(_FAULT_KEYS)
+            raise argparse.ArgumentTypeError(
+                f"bad fault spec {part!r}; expected {known} entries like crash=0.2"
+            )
+        try:
+            rate = float(raw)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"bad fault rate {raw!r} for {key}"
+            ) from None
+        if not 0.0 <= rate <= 1.0:
+            raise argparse.ArgumentTypeError(
+                f"fault rate {key} must be in [0, 1], got {raw}"
+            )
+        rates[_FAULT_KEYS[key]] = rate
+    if not rates:
+        raise argparse.ArgumentTypeError("empty fault spec")
+    return rates
 
 
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
@@ -249,7 +307,11 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     with tracer.span("cli.fit", config=config.name):
         detector = HMDDetector(config).fit(split.train)
     monitor = RuntimeMonitor(
-        detector, n_counters=args.counters, tracer=tracer, metrics=metrics
+        detector,
+        n_counters=args.counters,
+        vote_threshold=args.vote_threshold,
+        tracer=tracer,
+        metrics=metrics,
     )
     pool = ContainerPool(seed=args.seed + 99)
     import numpy as np
@@ -270,6 +332,65 @@ def cmd_monitor(args: argparse.Namespace) -> int:
                 f"flagged={verdict.malware_fraction:.0%}"
             )
     print(f"\napplication-level accuracy: {correct}/{total}")
+    _dump_obs(args, tracer, metrics)
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Monitor a fleet of fresh executions, optionally under faults."""
+    import numpy as np
+
+    tracer, metrics = _make_obs(args)
+    with tracer.span("cli.corpus"):
+        corpus = _build_corpus(args)
+    split = app_level_split(corpus, 0.7, seed=args.split_seed)
+    config = DetectorConfig(args.classifier, args.ensemble, args.hpcs)
+    with tracer.span("cli.fit", config=config.name):
+        detector = HMDDetector(config).fit(split.train)
+    faults = (
+        FaultPlan(seed=args.seed + 123, **args.faults)
+        if args.faults is not None
+        else None
+    )
+    fleet = FleetMonitor(
+        detector,
+        workers=args.fleet_workers,
+        n_counters=args.counters,
+        vote_threshold=args.vote_threshold,
+        faults=faults,
+        retry=RetryPolicy(max_attempts=args.retries),
+        pool_seed=args.seed + 99,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    rng = np.random.default_rng(args.seed + 100)
+    jobs = []
+    for family in (BENIGN_FAMILIES + MALWARE_FAMILIES)[:: args.stride]:
+        app = family.instantiate(rng)[0]
+        jobs.append(FleetJob(app, args.windows, family.label == MALWARE))
+    verdicts = fleet.monitor_fleet(jobs)
+    print(
+        f"{'application':28s} {'truth':7s} {'verdict':7s} "
+        f"{'flagged':>7s} {'conf':>5s} {'lost':>4s} degraded"
+    )
+    correct = 0
+    for job, verdict in zip(jobs, verdicts):
+        truth = job.is_malware
+        correct += verdict.is_malware == truth
+        print(
+            f"{verdict.app_name:28s} {'malware' if truth else 'benign':7s} "
+            f"{'malware' if verdict.is_malware else 'benign':7s} "
+            f"{verdict.malware_fraction:>7.0%} {verdict.confidence:>5.2f} "
+            f"{verdict.n_windows_lost:>4d} {'yes' if verdict.degraded else 'no'}"
+        )
+    degraded = sum(v.degraded for v in verdicts)
+    lost = sum(v.n_windows_lost for v in verdicts)
+    mean_conf = sum(v.confidence for v in verdicts) / len(verdicts) if verdicts else 0.0
+    print(
+        f"\nfleet accuracy: {correct}/{len(verdicts)}  "
+        f"degraded: {degraded}  windows lost: {lost}  "
+        f"mean confidence: {mean_conf:.2f}"
+    )
     _dump_obs(args, tracer, metrics)
     return 0
 
@@ -416,10 +537,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ensemble", default="boosted", choices=ENSEMBLE_MODES)
     p.add_argument("--hpcs", type=int, default=4)
     p.add_argument("--counters", type=int, default=4)
+    p.add_argument("--vote-threshold", type=_vote_threshold, default=0.5,
+                   help="flagged-window fraction that raises the alarm, in (0, 1]")
     p.add_argument("--stride", type=int, default=1,
                    help="monitor every Nth family only")
     _add_obs_args(p)
     p.set_defaults(func=cmd_monitor)
+
+    p = sub.add_parser(
+        "fleet", help="fault-tolerant fleet monitoring with fault injection"
+    )
+    _add_corpus_args(p)
+    p.add_argument("--split-seed", type=int, default=7)
+    p.add_argument("--classifier", default="REPTree", choices=CLASSIFIER_NAMES)
+    p.add_argument("--ensemble", default="boosted", choices=ENSEMBLE_MODES)
+    p.add_argument("--hpcs", type=int, default=4)
+    p.add_argument("--counters", type=int, default=4)
+    p.add_argument("--vote-threshold", type=_vote_threshold, default=0.5,
+                   help="flagged-window quorum over surviving windows, in (0, 1]")
+    p.add_argument("--stride", type=int, default=1,
+                   help="monitor every Nth family only")
+    p.add_argument("--fleet-workers", type=_positive_int, default=4,
+                   help="monitoring threads (1 = serial)")
+    p.add_argument("--faults", type=_fault_rates, default=None, metavar="SPEC",
+                   help="inject faults, e.g. crash=0.2,glitch=0.1,drop=0.05,"
+                   "permanent=0.01 (rates in [0, 1]; omit for a pristine run)")
+    p.add_argument("--retries", type=_positive_int, default=3, metavar="N",
+                   help="max attempts per application on transient faults")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("verilog", help="emit RTL for a trained detector")
     _add_corpus_args(p)

@@ -18,7 +18,14 @@ from repro.core.policies import (
     MajorityVote,
     PolicyDecision,
 )
-from repro.core.runtime import DetectionVerdict, RuntimeMonitor
+from repro.core.fleet import FleetJob, FleetMonitor, RetryPolicy
+from repro.core.runtime import (
+    DetectionVerdict,
+    RuntimeMonitor,
+    classify_trace,
+    detection_latency_windows,
+    validate_deployment,
+)
 from repro.core.specialized import SpecializedEnsembleDetector
 
 __all__ = [
@@ -33,11 +40,17 @@ __all__ = [
     "DetectionVerdict",
     "DetectorConfig",
     "EwmaAlarm",
+    "FleetJob",
+    "FleetMonitor",
     "HMDDetector",
     "MajorityVote",
     "PolicyDecision",
+    "RetryPolicy",
     "RuntimeMonitor",
     "SpecializedEnsembleDetector",
     "build_base_classifier",
     "build_model",
+    "classify_trace",
+    "detection_latency_windows",
+    "validate_deployment",
 ]

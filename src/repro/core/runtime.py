@@ -10,6 +10,13 @@ decisions into an application-level alarm with a configurable vote.
 The constructor enforces the paper's central practicality constraint: a
 detector that monitors more events than there are registers cannot run
 at run time and is rejected outright.
+
+:class:`DetectionVerdict` also carries the degraded-evidence fields
+(``confidence`` / ``n_windows_lost`` / ``degraded``) used by
+:class:`~repro.core.fleet.FleetMonitor` when windows are lost to
+injected faults; a pristine single-execution verdict always reports
+full confidence with nothing lost, so serial and fleet verdicts stay
+bit-comparable.
 """
 
 from __future__ import annotations
@@ -33,6 +40,74 @@ from repro.obs import (
 )
 
 
+def validate_deployment(
+    detector: HMDDetector, n_counters: int, vote_threshold: float
+) -> None:
+    """Reject deployments that cannot run at run time.
+
+    Shared by :class:`RuntimeMonitor` and
+    :class:`~repro.core.fleet.FleetMonitor` so both enforce the paper's
+    register-capacity constraint identically.
+    """
+    if not detector.fitted_:
+        raise RuntimeError("detector must be fitted before deployment")
+    if not 0.0 < vote_threshold <= 1.0:
+        raise ValueError("vote_threshold must be in (0, 1]")
+    events = detector.monitored_events
+    if len(events) > n_counters:
+        raise CounterCapacityError(
+            f"detector monitors {len(events)} events but the CPU has "
+            f"{n_counters} counter registers; run-time detection needs "
+            f"a detector with n_hpcs <= {n_counters}"
+        )
+
+
+def classify_trace(
+    detector: HMDDetector,
+    n_counters: int,
+    trace: np.ndarray,
+    register_file: CounterRegisterFile | None = None,
+) -> np.ndarray:
+    """Sample a raw 44-event trace through a register file and classify it.
+
+    Args:
+        detector: fitted detector whose events are programmed.
+        n_counters: register-file capacity when ``register_file`` is None.
+        trace: array ``(n_windows, 44)`` of raw event activity.
+        register_file: optional pre-built register file (e.g. a
+            :class:`~repro.hpc.faults.GlitchyCounterRegisterFile`); a
+            pristine one is built when omitted.
+
+    Returns:
+        Per-window 0/1 flags.  An empty trace classifies to an empty
+        flag array without touching the registers.
+    """
+    if trace.shape[0] == 0:
+        return np.zeros(0, dtype=np.intp)
+    if register_file is None:
+        register_file = CounterRegisterFile(n_counters)
+    register_file.program(list(detector.monitored_events))
+    readings = sample_trace(register_file, trace, ALL_EVENTS)
+    return detector.predict_windows(readings)
+
+
+def detection_latency_windows(
+    window_flags: np.ndarray, vote_threshold: float
+) -> int | None:
+    """First window index at which the cumulative vote crosses the
+    alarm threshold, or None if it never does.
+
+    This is the run-time detection delay (in sampling windows) the
+    paper's run-time argument is about.
+    """
+    flags = np.asarray(window_flags)
+    if flags.size == 0:
+        return None
+    cumulative = np.cumsum(flags) / (np.arange(flags.size) + 1)
+    crossed = np.flatnonzero(cumulative >= vote_threshold)
+    return int(crossed[0]) if crossed.size else None
+
+
 @dataclass(frozen=True, eq=False)
 class DetectionVerdict:
     """Outcome of monitoring one application execution.
@@ -43,20 +118,64 @@ class DetectionVerdict:
             read-only copy (the verdict is evidence; callers must not
             be able to rewrite it, and the constructor's array may be
             reused by the caller).
-        malware_fraction: fraction of windows flagged malicious.
+        malware_fraction: fraction of surviving windows flagged malicious.
         is_malware: application-level alarm decision.
-        n_windows: number of windows observed.
+        confidence: fraction of requested windows that survived faults
+            (1.0 for a pristine execution, 0.0 when every window was
+            lost and the quorum is vacuous).
+        n_windows_lost: windows requested but never classified (dropped
+            by the sampler, lost to a container crash, or lost to a
+            counter-read glitch).
+        degraded: True when the verdict rests on partial evidence.
+        n_windows: number of windows actually observed.
     """
 
     app_name: str
     window_flags: np.ndarray
     malware_fraction: float
     is_malware: bool
+    confidence: float = 1.0
+    n_windows_lost: int = 0
+    degraded: bool = False
 
     def __post_init__(self) -> None:
         flags = np.array(self.window_flags, dtype=np.intp, copy=True)
         flags.setflags(write=False)
         object.__setattr__(self, "window_flags", flags)
+
+    @classmethod
+    def from_flags(
+        cls,
+        app_name: str,
+        window_flags: np.ndarray,
+        vote_threshold: float,
+        n_windows_lost: int = 0,
+        degraded: bool = False,
+    ) -> "DetectionVerdict":
+        """Build a verdict from per-window flags by quorum vote.
+
+        The vote runs over the *surviving* windows only: the alarm is
+        raised when the flagged fraction of observed windows reaches
+        ``vote_threshold``, and ``confidence`` reports how much of the
+        requested evidence that quorum actually saw.
+        """
+        if not 0.0 < vote_threshold <= 1.0:
+            raise ValueError("vote_threshold must be in (0, 1]")
+        if n_windows_lost < 0:
+            raise ValueError("n_windows_lost cannot be negative")
+        flags = np.asarray(window_flags)
+        fraction = float(flags.mean()) if flags.size else 0.0
+        requested = int(flags.size) + n_windows_lost
+        confidence = float(flags.size) / requested if requested else 1.0
+        return cls(
+            app_name=app_name,
+            window_flags=flags,
+            malware_fraction=fraction,
+            is_malware=fraction >= vote_threshold,
+            confidence=confidence,
+            n_windows_lost=n_windows_lost,
+            degraded=degraded or n_windows_lost > 0,
+        )
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DetectionVerdict):
@@ -66,6 +185,9 @@ class DetectionVerdict:
             and np.array_equal(self.window_flags, other.window_flags)
             and self.malware_fraction == other.malware_fraction
             and self.is_malware == other.is_malware
+            and self.confidence == other.confidence
+            and self.n_windows_lost == other.n_windows_lost
+            and self.degraded == other.degraded
         )
 
     def __hash__(self) -> int:
@@ -75,12 +197,19 @@ class DetectionVerdict:
                 self.window_flags.tobytes(),
                 self.malware_fraction,
                 self.is_malware,
+                self.confidence,
+                self.n_windows_lost,
+                self.degraded,
             )
         )
 
     @property
     def n_windows(self) -> int:
         return int(self.window_flags.size)
+
+    @property
+    def n_windows_requested(self) -> int:
+        return self.n_windows + self.n_windows_lost
 
 
 class RuntimeMonitor:
@@ -113,17 +242,7 @@ class RuntimeMonitor:
         tracer: Tracer | None = None,
         metrics: Registry | None = None,
     ) -> None:
-        if not detector.fitted_:
-            raise RuntimeError("detector must be fitted before deployment")
-        if not 0.0 < vote_threshold <= 1.0:
-            raise ValueError("vote_threshold must be in (0, 1]")
-        events = detector.monitored_events
-        if len(events) > n_counters:
-            raise CounterCapacityError(
-                f"detector monitors {len(events)} events but the CPU has "
-                f"{n_counters} counter registers; run-time detection needs "
-                f"a detector with n_hpcs <= {n_counters}"
-            )
+        validate_deployment(detector, n_counters, vote_threshold)
         self.detector = detector
         self.n_counters = n_counters
         self.vote_threshold = vote_threshold
@@ -168,28 +287,19 @@ class RuntimeMonitor:
                 trace = pool.run(
                     app, n_windows, is_malware, window_ms=self.window_ms
                 )
-            register_file = CounterRegisterFile(self.n_counters)
-            register_file.program(list(self.detector.monitored_events))
             with self.tracer.span("monitor.classify", app=app.name):
                 start = time.perf_counter()
-                readings = sample_trace(register_file, trace, ALL_EVENTS)
-                flags = self.detector.predict_windows(readings)
+                flags = classify_trace(self.detector, self.n_counters, trace)
                 elapsed = time.perf_counter() - start
-            fraction = float(flags.mean()) if flags.size else 0.0
-            verdict = DetectionVerdict(
-                app_name=app.name,
-                window_flags=flags,
-                malware_fraction=fraction,
-                is_malware=fraction >= self.vote_threshold,
+            verdict = DetectionVerdict.from_flags(
+                app.name, flags, self.vote_threshold
             )
         n = int(flags.size)
         self._c_windows.inc(n)
         if n:
             # The detector classifies the batch vectorized; the honest
             # per-window figure is the amortized share of that batch.
-            per_window = elapsed / n
-            for _ in range(n):
-                self._h_classify.observe(per_window)
+            self._h_classify.observe_many(elapsed / n, n)
         latency = self.detection_latency_windows(verdict)
         self._g_latency.set(-1 if latency is None else latency)
         self._c_apps.inc()
@@ -208,13 +318,5 @@ class RuntimeMonitor:
     def detection_latency_windows(self, verdict: DetectionVerdict) -> int | None:
         """First window index at which the cumulative vote crosses the
         alarm threshold, or None if it never does.
-
-        This is the run-time detection delay (in sampling windows) the
-        paper's run-time argument is about.
         """
-        flags = verdict.window_flags
-        if flags.size == 0:
-            return None
-        cumulative = np.cumsum(flags) / (np.arange(flags.size) + 1)
-        crossed = np.flatnonzero(cumulative >= self.vote_threshold)
-        return int(crossed[0]) if crossed.size else None
+        return detection_latency_windows(verdict.window_flags, self.vote_threshold)

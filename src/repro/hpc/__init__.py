@@ -27,6 +27,17 @@ from repro.hpc.events import (
     EventDescriptor,
     events_of_class,
 )
+from repro.hpc.faults import (
+    NO_FAULTS,
+    ContainerCrashError,
+    CounterReadGlitchError,
+    FaultDraw,
+    FaultInjectionError,
+    FaultPlan,
+    FaultyContainerPool,
+    GlitchyCounterRegisterFile,
+    PermanentHostError,
+)
 from repro.hpc.lxc import Container, ContainerDestroyedError, ContainerPool
 from repro.hpc.microarch import (
     DEFAULT_FREQUENCY_HZ,
@@ -60,13 +71,22 @@ __all__ = [
     "Container",
     "ContainerDestroyedError",
     "ContainerPool",
+    "ContainerCrashError",
     "CounterCapacityError",
+    "CounterReadGlitchError",
     "CounterRegister",
     "CounterRegisterFile",
     "CounterStateError",
     "EventClass",
     "EventDescriptor",
+    "FaultDraw",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultyContainerPool",
+    "GlitchyCounterRegisterFile",
+    "NO_FAULTS",
     "MultiplexedCollection",
+    "PermanentHostError",
     "PhaseMix",
     "PhaseParameters",
     "TraceRecording",

@@ -1,0 +1,306 @@
+"""Fault-tolerant fleet monitoring: differential and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import HMDDetector
+from repro.core.fleet import FleetJob, FleetMonitor, RetryPolicy
+from repro.core.runtime import DetectionVerdict, RuntimeMonitor
+from repro.hpc.counters import CounterCapacityError
+from repro.hpc.faults import FaultPlan
+from repro.hpc.lxc import ContainerPool
+from repro.obs import Registry, Tracer
+from repro.workloads.benign import BENIGN_FAMILIES
+from repro.workloads.dataset import MALWARE
+from repro.workloads.malware import MALWARE_FAMILIES
+
+POOL_SEED = 5
+N_WINDOWS = 10
+
+
+@pytest.fixture(scope="module")
+def detector4(small_split):
+    return HMDDetector(DetectorConfig("REPTree", "general", 4)).fit(small_split.train)
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    rng = np.random.default_rng(17)
+    jobs = []
+    for family in (BENIGN_FAMILIES + MALWARE_FAMILIES)[::3]:
+        app = family.instantiate(rng)[0]
+        jobs.append(FleetJob(app, N_WINDOWS, family.label == MALWARE))
+    return jobs
+
+
+def no_sleep(_seconds: float) -> None:
+    pass
+
+
+# -- construction ------------------------------------------------------
+
+
+def test_fleet_rejects_over_budget_detector(small_split):
+    wide = HMDDetector(DetectorConfig("J48", "general", 16)).fit(small_split.train)
+    with pytest.raises(CounterCapacityError):
+        FleetMonitor(wide, n_counters=4)
+
+
+def test_fleet_rejects_bad_threshold(detector4):
+    with pytest.raises(ValueError):
+        FleetMonitor(detector4, vote_threshold=0.0)
+
+
+def test_fleet_rejects_bad_workers(detector4):
+    with pytest.raises(ValueError):
+        FleetMonitor(detector4, workers=0)
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_multiplier=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(timeout_s=-1.0)
+
+
+def test_retry_policy_backoff_deterministic_and_bounded():
+    policy = RetryPolicy(
+        base_backoff_s=0.1, backoff_multiplier=2.0, max_backoff_s=0.5, jitter=0.2
+    )
+    values = [
+        policy.backoff_s(i, np.random.default_rng(42)) for i in range(6)
+    ]
+    again = [policy.backoff_s(i, np.random.default_rng(42)) for i in range(6)]
+    assert values == again
+    for i, value in enumerate(values):
+        nominal = min(0.1 * 2.0**i, 0.5)
+        assert nominal * 0.8 <= value <= nominal * 1.2
+
+
+# -- differential: fleet vs serial -------------------------------------
+
+
+def test_fleet_matches_serial(detector4, jobs):
+    """faults=None ⇒ bit-identical to a serial RuntimeMonitor sweep."""
+    serial = RuntimeMonitor(detector4, n_counters=4)
+    pool = ContainerPool(seed=POOL_SEED)
+    serial_verdicts = [
+        serial.monitor(job.app, job.n_windows, pool, job.is_malware) for job in jobs
+    ]
+    fleet = FleetMonitor(detector4, workers=4, pool_seed=POOL_SEED)
+    fleet_verdicts = fleet.monitor_fleet(jobs)
+    assert len(fleet_verdicts) == len(serial_verdicts)
+    for serial_v, fleet_v in zip(serial_verdicts, fleet_verdicts):
+        assert serial_v == fleet_v
+        assert hash(serial_v) == hash(fleet_v)
+        assert not fleet_v.degraded
+        assert fleet_v.confidence == 1.0
+        assert fleet_v.n_windows_lost == 0
+
+
+def test_fleet_serial_worker_matches_threaded(detector4, jobs):
+    one = FleetMonitor(detector4, workers=1, pool_seed=POOL_SEED).monitor_fleet(jobs)
+    four = FleetMonitor(detector4, workers=4, pool_seed=POOL_SEED).monitor_fleet(jobs)
+    assert one == four
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 2**31 - 1),
+    crash=st.floats(0.0, 1.0),
+    glitch=st.floats(0.0, 1.0),
+    drop=st.floats(0.0, 0.6),
+    permanent=st.floats(0.0, 1.0),
+)
+def test_fleet_total_under_any_fault_plan(
+    detector4, jobs, seed, crash, glitch, drop, permanent
+):
+    """Any seeded FaultPlan: one verdict per app, in order, never raises."""
+    plan = FaultPlan(
+        seed=seed,
+        crash_rate=crash,
+        glitch_rate=glitch,
+        drop_rate=drop,
+        permanent_rate=permanent,
+    )
+    fleet = FleetMonitor(
+        detector4,
+        workers=3,
+        pool_seed=POOL_SEED,
+        faults=plan,
+        retry=RetryPolicy(max_attempts=2, base_backoff_s=0.0),
+        sleep=no_sleep,
+    )
+    verdicts = fleet.monitor_fleet(jobs)
+    assert len(verdicts) == len(jobs)
+    for job, verdict in zip(jobs, verdicts):
+        assert isinstance(verdict, DetectionVerdict)
+        assert verdict.app_name == job.app.name
+        assert 0.0 <= verdict.confidence <= 1.0
+        assert 0 <= verdict.n_windows_lost <= job.n_windows
+        assert verdict.n_windows + verdict.n_windows_lost <= job.n_windows
+        if verdict.n_windows_lost:
+            assert verdict.degraded
+
+
+def test_fleet_faulted_run_replays_from_seed(detector4, jobs):
+    plan = FaultPlan(seed=77, crash_rate=0.4, glitch_rate=0.3, drop_rate=0.15)
+    kwargs = dict(
+        pool_seed=POOL_SEED,
+        faults=plan,
+        retry=RetryPolicy(max_attempts=3, base_backoff_s=0.0),
+        sleep=no_sleep,
+    )
+    first = FleetMonitor(detector4, workers=4, **kwargs).monitor_fleet(jobs)
+    second = FleetMonitor(detector4, workers=2, **kwargs).monitor_fleet(jobs)
+    assert first == second
+
+
+# -- fault semantics ---------------------------------------------------
+
+
+def test_fleet_degrades_when_every_attempt_crashes(detector4, jobs):
+    sleeps = []
+    metrics = Registry()
+    fleet = FleetMonitor(
+        detector4,
+        workers=2,
+        pool_seed=POOL_SEED,
+        faults=FaultPlan(seed=1, crash_rate=1.0),
+        retry=RetryPolicy(max_attempts=3, base_backoff_s=0.001),
+        metrics=metrics,
+        sleep=sleeps.append,
+    )
+    verdicts = fleet.monitor_fleet(jobs)
+    assert all(v.degraded for v in verdicts)
+    assert all(v.n_windows_lost > 0 for v in verdicts)
+    snap = metrics.snapshot()["counters"]
+    assert snap["fleet_faults_crash_total"]["value"] == 3 * len(jobs)
+    assert snap["fleet_retries_total"]["value"] == 2 * len(jobs)
+    assert snap["fleet_degraded_verdicts_total"]["value"] == len(jobs)
+    assert len(sleeps) == 2 * len(jobs)
+    assert all(s >= 0 for s in sleeps)
+
+
+def test_fleet_drop_only_degrades_without_retrying(detector4, jobs):
+    metrics = Registry()
+    fleet = FleetMonitor(
+        detector4,
+        workers=2,
+        pool_seed=POOL_SEED,
+        faults=FaultPlan(seed=4, drop_rate=0.4),
+        metrics=metrics,
+        sleep=no_sleep,
+    )
+    verdicts = fleet.monitor_fleet(jobs)
+    snap = metrics.snapshot()["counters"]
+    assert snap["fleet_retries_total"]["value"] == 0
+    for verdict in verdicts:
+        assert verdict.n_windows + verdict.n_windows_lost == N_WINDOWS
+        assert verdict.degraded == (verdict.n_windows_lost > 0)
+    assert any(v.degraded for v in verdicts)
+
+
+def test_fleet_permanent_fault_yields_empty_degraded_verdict(detector4, jobs):
+    metrics = Registry()
+    fleet = FleetMonitor(
+        detector4,
+        workers=2,
+        pool_seed=POOL_SEED,
+        faults=FaultPlan(seed=6, permanent_rate=1.0),
+        metrics=metrics,
+        sleep=no_sleep,
+    )
+    verdicts = fleet.monitor_fleet(jobs)
+    for verdict in verdicts:
+        assert verdict.degraded
+        assert verdict.n_windows == 0
+        assert verdict.n_windows_lost == N_WINDOWS
+        assert verdict.confidence == 0.0
+        assert not verdict.is_malware
+    snap = metrics.snapshot()["counters"]
+    assert snap["fleet_faults_permanent_total"]["value"] == len(jobs)
+    assert snap["fleet_retries_total"]["value"] == 0
+
+
+def test_fleet_timeout_stops_retrying(detector4, jobs):
+    metrics = Registry()
+    fleet = FleetMonitor(
+        detector4,
+        workers=1,
+        pool_seed=POOL_SEED,
+        faults=FaultPlan(seed=1, crash_rate=1.0),
+        retry=RetryPolicy(max_attempts=5, base_backoff_s=0.0, timeout_s=0.0),
+        metrics=metrics,
+        sleep=no_sleep,
+    )
+    verdicts = fleet.monitor_fleet(jobs)
+    assert all(v.degraded for v in verdicts)
+    assert metrics.snapshot()["counters"]["fleet_retries_total"]["value"] == 0
+
+
+def test_fleet_salvages_partial_crash_evidence(detector4):
+    """A crash late in the run still leaves classifiable windows."""
+    app = next(
+        f for f in MALWARE_FAMILIES if f.name == "dos_flooder"
+    ).instantiate(np.random.default_rng(0))[0]
+    plan = FaultPlan(seed=11, crash_rate=1.0)
+    fleet = FleetMonitor(
+        detector4,
+        workers=1,
+        pool_seed=POOL_SEED,
+        faults=plan,
+        retry=RetryPolicy(max_attempts=1),
+        sleep=no_sleep,
+    )
+    (verdict,) = fleet.monitor_fleet([FleetJob(app, 30, True)])
+    crash_after = plan.draw(app.name, 0, 30).crash_after
+    assert verdict.n_windows == crash_after
+    assert verdict.n_windows_lost == 30 - crash_after
+    assert verdict.degraded
+
+
+# -- observability -----------------------------------------------------
+
+
+def test_fleet_obs_wiring(detector4, jobs):
+    tracer = Tracer()
+    metrics = Registry()
+    fleet = FleetMonitor(
+        detector4,
+        workers=2,
+        pool_seed=POOL_SEED,
+        faults=FaultPlan(seed=2, crash_rate=0.5, drop_rate=0.2),
+        retry=RetryPolicy(max_attempts=2, base_backoff_s=0.001),
+        tracer=tracer,
+        metrics=metrics,
+        sleep=no_sleep,
+    )
+    verdicts = fleet.monitor_fleet(jobs)
+    events = tracer.events
+    spans = [e for e in events if e["type"] == "span"]
+    names = {e["name"] for e in events}
+    assert {"fleet.run", "fleet.app", "fleet.verdict"} <= names
+    app_spans = [s for s in spans if s["name"] == "fleet.app"]
+    assert len(app_spans) == len(jobs)
+    assert all("attempts" in s["attrs"] for s in app_spans)
+    snap = metrics.snapshot()
+    assert snap["counters"]["fleet_apps_total"]["value"] == len(jobs)
+    assert snap["counters"]["fleet_windows_total"]["value"] == sum(
+        v.n_windows for v in verdicts
+    )
+    retries = snap["counters"]["fleet_retries_total"]["value"]
+    assert snap["histograms"]["fleet_backoff_sleep_seconds"]["count"] == retries
+
+
+def test_fleet_accepts_tuple_jobs(detector4, jobs):
+    fleet = FleetMonitor(detector4, workers=1, pool_seed=POOL_SEED)
+    as_tuples = [(j.app, j.n_windows, j.is_malware) for j in jobs[:2]]
+    assert fleet.monitor_fleet(as_tuples) == fleet.monitor_fleet(jobs[:2])

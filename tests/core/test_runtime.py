@@ -185,3 +185,19 @@ def test_monitor_verdict_unchanged_by_instrumentation(detector4):
         detector4, n_counters=4, tracer=Tracer(), metrics=Registry()
     ).monitor(app, 12, ContainerPool(seed=8), is_malware=True)
     assert plain == instrumented
+
+
+def test_monitor_window_histogram_records_one_entry_per_window(detector4):
+    """Regression: the per-window latency histogram must record exactly
+    n_windows observations (now bulk-recorded via observe_many instead
+    of an O(n) Python loop)."""
+    from repro.obs import Registry
+
+    metrics = Registry()
+    monitor = RuntimeMonitor(detector4, n_counters=4, metrics=metrics)
+    app = BENIGN_FAMILIES[0].instantiate(np.random.default_rng(21))[0]
+    monitor.monitor(app, 25, ContainerPool(seed=3), is_malware=False)
+    hist = metrics.snapshot()["histograms"]["monitor_window_classify_seconds"]
+    assert hist["count"] == 25
+    assert sum(hist["counts"]) == 25
+    assert hist["sum"] > 0.0

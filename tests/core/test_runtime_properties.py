@@ -1,0 +1,120 @@
+"""Property-based tests for verdicts and detection latency.
+
+These pin the algebra of the quorum vote: for *any* 0/1 flag array and
+any threshold in (0, 1], the detection latency is None exactly when the
+cumulative vote never crosses the threshold, the alarm decision agrees
+with the flagged fraction, and a constructed verdict is immutable
+evidence with consistent equality and hashing.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runtime import DetectionVerdict, detection_latency_windows
+
+flag_arrays = st.lists(st.integers(0, 1), min_size=0, max_size=64).map(
+    lambda bits: np.array(bits, dtype=np.intp)
+)
+thresholds = st.floats(
+    min_value=0.0,
+    max_value=1.0,
+    exclude_min=True,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+
+def naive_latency(flags: np.ndarray, threshold: float) -> int | None:
+    """Reference implementation: scan the cumulative vote window by window."""
+    for i in range(flags.size):
+        if flags[: i + 1].mean() >= threshold:
+            return i
+    return None
+
+
+@settings(max_examples=200)
+@given(flags=flag_arrays, threshold=thresholds)
+def test_latency_matches_naive_scan(flags, threshold):
+    assert detection_latency_windows(flags, threshold) == naive_latency(
+        flags, threshold
+    )
+
+
+@settings(max_examples=200)
+@given(flags=flag_arrays, threshold=thresholds)
+def test_latency_none_iff_vote_never_crosses(flags, threshold):
+    latency = detection_latency_windows(flags, threshold)
+    cumulative = [
+        flags[: i + 1].mean() >= threshold for i in range(flags.size)
+    ]
+    if latency is None:
+        assert not any(cumulative)
+    else:
+        assert cumulative[latency]
+        assert not any(cumulative[:latency])
+
+
+@settings(max_examples=200)
+@given(flags=flag_arrays, threshold=thresholds)
+def test_verdict_alarm_agrees_with_fraction(flags, threshold):
+    verdict = DetectionVerdict.from_flags("app", flags, threshold)
+    expected_fraction = float(flags.mean()) if flags.size else 0.0
+    assert verdict.malware_fraction == expected_fraction
+    assert verdict.is_malware == (verdict.malware_fraction >= threshold)
+    assert verdict.n_windows == flags.size
+    assert verdict.confidence == 1.0
+    assert not verdict.degraded
+
+
+@settings(max_examples=100)
+@given(flags=flag_arrays, threshold=thresholds)
+def test_verdict_flags_read_only_and_decoupled(flags, threshold):
+    source = flags.copy()
+    verdict = DetectionVerdict.from_flags("app", source, threshold)
+    with pytest.raises(ValueError):
+        verdict.window_flags[:] = 1
+    if source.size:
+        source[0] = 1 - source[0]  # mutating the caller's array is harmless
+        assert np.array_equal(verdict.window_flags, flags)
+
+
+@settings(max_examples=100)
+@given(flags=flag_arrays, threshold=thresholds)
+def test_verdict_eq_hash_consistent(flags, threshold):
+    a = DetectionVerdict.from_flags("app", flags, threshold)
+    b = DetectionVerdict.from_flags("app", flags.copy(), threshold)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert len({a, b}) == 1
+    different = DetectionVerdict.from_flags("other_app", flags, threshold)
+    assert a != different
+
+
+@settings(max_examples=100)
+@given(
+    flags=flag_arrays,
+    threshold=thresholds,
+    lost=st.integers(0, 32),
+)
+def test_degraded_verdict_confidence_accounting(flags, threshold, lost):
+    verdict = DetectionVerdict.from_flags(
+        "app", flags, threshold, n_windows_lost=lost
+    )
+    requested = flags.size + lost
+    assert verdict.n_windows_requested == requested
+    if requested:
+        assert verdict.confidence == flags.size / requested
+    else:
+        assert verdict.confidence == 1.0
+    assert verdict.degraded == (lost > 0)
+
+
+def test_from_flags_rejects_bad_inputs():
+    with pytest.raises(ValueError):
+        DetectionVerdict.from_flags("app", np.array([1]), 0.0)
+    with pytest.raises(ValueError):
+        DetectionVerdict.from_flags("app", np.array([1]), 1.5)
+    with pytest.raises(ValueError):
+        DetectionVerdict.from_flags("app", np.array([1]), 0.5, n_windows_lost=-1)

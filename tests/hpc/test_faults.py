@@ -1,0 +1,139 @@
+"""Deterministic fault injection on the measurement substrate."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.counters import CounterRegisterFile
+from repro.hpc.events import ALL_EVENTS
+from repro.hpc.faults import (
+    NO_FAULTS,
+    ContainerCrashError,
+    CounterReadGlitchError,
+    FaultDraw,
+    FaultPlan,
+    FaultyContainerPool,
+    GlitchyCounterRegisterFile,
+    PermanentHostError,
+)
+from repro.hpc.lxc import ContainerPool
+from repro.workloads.benign import BENIGN_FAMILIES
+
+N_WINDOWS = 12
+
+
+@pytest.fixture()
+def app():
+    return BENIGN_FAMILIES[0].instantiate(np.random.default_rng(3))[0]
+
+
+def test_rates_validated():
+    with pytest.raises(ValueError):
+        FaultPlan(crash_rate=1.5)
+    with pytest.raises(ValueError):
+        FaultPlan(drop_rate=-0.1)
+
+
+def test_zero_rates_draw_clean():
+    plan = FaultPlan(seed=1)
+    for attempt in range(3):
+        assert plan.draw("some_app", attempt, N_WINDOWS).is_clean
+    assert NO_FAULTS.is_clean
+
+
+def test_draw_is_deterministic():
+    a = FaultPlan(seed=9, crash_rate=0.5, glitch_rate=0.5, drop_rate=0.3)
+    b = FaultPlan(seed=9, crash_rate=0.5, glitch_rate=0.5, drop_rate=0.3)
+    for attempt in range(4):
+        assert a.draw("app_x", attempt, N_WINDOWS) == b.draw(
+            "app_x", attempt, N_WINDOWS
+        )
+
+
+def test_draw_varies_with_seed_app_and_attempt():
+    plan = FaultPlan(seed=0, crash_rate=0.5, glitch_rate=0.5, drop_rate=0.5)
+    other_seed = FaultPlan(seed=1, crash_rate=0.5, glitch_rate=0.5, drop_rate=0.5)
+    apps = [f"app_{i}" for i in range(40)]
+    assert any(
+        plan.draw(a, 0, N_WINDOWS) != other_seed.draw(a, 0, N_WINDOWS) for a in apps
+    )
+    assert any(
+        plan.draw(a, 0, N_WINDOWS) != plan.draw(a, 1, N_WINDOWS) for a in apps
+    )
+    assert len({plan.draw(a, 0, N_WINDOWS) for a in apps}) > 1
+
+
+def test_drawn_faults_stay_in_range():
+    plan = FaultPlan(seed=5, crash_rate=1.0, glitch_rate=1.0, drop_rate=0.5)
+    for attempt in range(5):
+        draw = plan.draw("app", attempt, N_WINDOWS)
+        assert 0 <= draw.crash_after < N_WINDOWS
+        assert 0 <= draw.glitch_read < N_WINDOWS
+        assert all(0 <= i < N_WINDOWS for i in draw.dropped)
+        assert list(draw.dropped) == sorted(set(draw.dropped))
+
+
+def test_permanent_is_per_app_not_per_attempt():
+    plan = FaultPlan(seed=2, permanent_rate=0.5)
+    apps = [f"app_{i}" for i in range(40)]
+    flags = {a: plan.is_permanent(a) for a in apps}
+    assert any(flags.values()) and not all(flags.values())
+    for a in apps:
+        for attempt in range(3):
+            assert plan.draw(a, attempt, N_WINDOWS).permanent == flags[a]
+
+
+def test_faulty_pool_clean_run_matches_plain_pool(app):
+    plain = ContainerPool(seed=7).run(app, N_WINDOWS, False)
+    faulty = FaultyContainerPool(ContainerPool(seed=7), FaultPlan(seed=1))
+    assert np.array_equal(faulty.run(app, N_WINDOWS, False), plain)
+
+
+def test_faulty_pool_crash_carries_partial_trace(app):
+    plan = FaultPlan(seed=3, crash_rate=1.0)
+    pool = FaultyContainerPool(ContainerPool(seed=7), plan)
+    draw = plan.draw(app.name, 0, N_WINDOWS)
+    with pytest.raises(ContainerCrashError) as excinfo:
+        pool.run(app, N_WINDOWS, False)
+    partial = excinfo.value.partial_trace
+    assert partial.shape == (draw.crash_after, len(ALL_EVENTS))
+    full = ContainerPool(seed=7).run(app, N_WINDOWS, False)
+    assert np.array_equal(partial, full[: draw.crash_after])
+
+
+def test_faulty_pool_permanent_raises_every_attempt(app):
+    pool = FaultyContainerPool(
+        ContainerPool(seed=7), FaultPlan(seed=0, permanent_rate=1.0)
+    )
+    for attempt in range(3):
+        with pytest.raises(PermanentHostError):
+            pool.run(app, N_WINDOWS, False, attempt=attempt)
+
+
+def test_glitchy_register_file_without_glitch_matches_plain():
+    events = list(ALL_EVENTS[:2])
+    window = {events[0]: 10.0, events[1]: 20.0}
+    plain = CounterRegisterFile(4)
+    plain.program(events)
+    plain.observe_window(window)
+    glitchy = GlitchyCounterRegisterFile(4, glitch_read=None)
+    glitchy.program(events)
+    glitchy.observe_window(window)
+    assert glitchy.read() == plain.read()
+    assert glitchy.reads_completed == 1
+
+
+def test_glitchy_register_file_raises_at_configured_read():
+    events = list(ALL_EVENTS[:1])
+    glitchy = GlitchyCounterRegisterFile(4, glitch_read=2)
+    glitchy.program(events)
+    for _ in range(2):
+        glitchy.observe_window({events[0]: 1.0})
+        glitchy.read()
+    with pytest.raises(CounterReadGlitchError) as excinfo:
+        glitchy.read()
+    assert excinfo.value.windows_read == 2
+
+
+def test_fault_draw_defaults():
+    assert FaultDraw() == NO_FAULTS
+    assert not FaultDraw(crash_after=3).is_clean

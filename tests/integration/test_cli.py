@@ -228,3 +228,66 @@ def test_timings_progress_goes_through_the_sink(capsys):
     assert rc == 0
     err = capsys.readouterr().err
     assert "[  1/1] 2HPC-OneR" in err
+
+
+def test_monitor_vote_threshold_accepted(capsys):
+    rc = main([
+        "monitor", *FAST,
+        "--classifier", "OneR", "--ensemble", "general",
+        "--hpcs", "2", "--stride", "6", "--windows", "8",
+        "--vote-threshold", "0.3",
+    ])
+    assert rc == 0
+    assert "application-level accuracy" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("bad", ["0", "0.0", "1.5", "-0.2", "nan", "x"])
+@pytest.mark.parametrize("command", ["monitor", "fleet"])
+def test_vote_threshold_validated(command, bad):
+    with pytest.raises(SystemExit) as excinfo:
+        main([command, *FAST, "--vote-threshold", bad])
+    assert excinfo.value.code == 2  # argparse usage error
+
+
+def test_fleet_command_pristine(capsys):
+    rc = main([
+        "fleet", *FAST,
+        "--classifier", "OneR", "--ensemble", "general",
+        "--hpcs", "2", "--stride", "6", "--windows", "8",
+        "--fleet-workers", "2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fleet accuracy" in out
+    assert "degraded: 0" in out
+
+
+def test_fleet_command_with_faults_and_obs(capsys, tmp_path):
+    from repro.obs import load_metrics, load_trace
+
+    trace = tmp_path / "fleet.jsonl"
+    metrics = tmp_path / "fleet.json"
+    rc = main([
+        "fleet", *FAST,
+        "--classifier", "OneR", "--ensemble", "general",
+        "--hpcs", "2", "--stride", "4", "--windows", "8",
+        "--fleet-workers", "3", "--retries", "2",
+        "--faults", "crash=0.4,glitch=0.2,drop=0.2,permanent=0.1",
+        "--vote-threshold", "0.4",
+        "--trace-out", str(trace), "--metrics-out", str(metrics),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fleet accuracy" in out
+    names = {e["name"] for e in load_trace(trace)}
+    assert {"cli.fit", "fleet.run", "fleet.app", "fleet.verdict"} <= names
+    snap = load_metrics(metrics)
+    assert snap["counters"]["fleet_apps_total"]["value"] > 0
+    assert "fleet_backoff_sleep_seconds" in snap["histograms"]
+
+
+@pytest.mark.parametrize("bad", ["", "boom=0.1", "crash", "crash=x", "crash=2"])
+def test_fleet_faults_spec_validated(bad):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["fleet", *FAST, "--faults", bad])
+    assert excinfo.value.code == 2

@@ -167,3 +167,69 @@ def test_dump_writes_json_snapshot(tmp_path):
     path = tmp_path / "metrics.json"
     registry.dump(path)
     assert json.loads(path.read_text()) == registry.snapshot()
+
+
+def test_observe_many_identical_to_10k_singles():
+    """observe_many(v, 10_000) must record exactly what 10k singles do.
+
+    The value is a dyadic rational so every partial sum in the
+    one-at-a-time loop is exactly representable — the two paths must
+    then agree bit-for-bit on counts, count, and sum.
+    """
+    value = 2.0**-12
+    buckets = (1e-4, 1e-3, 1e-2, 1e-1)
+    singles = Registry().histogram("h", buckets=buckets)
+    for _ in range(10_000):
+        singles.observe(value)
+    bulk = Registry().histogram("h", buckets=buckets)
+    bulk.observe_many(value, 10_000)
+    assert bulk.counts == singles.counts
+    assert bulk.count == singles.count
+    assert bulk.sum == singles.sum
+    assert bulk.mean == singles.mean
+
+
+def test_observe_many_matches_singles_on_counts_for_any_value():
+    from hypothesis import given
+    from hypothesis import strategies as st
+
+    @given(
+        value=st.floats(0.0, 10.0, allow_nan=False),
+        n=st.integers(0, 500),
+    )
+    def check(value, n):
+        singles = Registry().histogram("h", buckets=(0.5, 2.0, 5.0))
+        for _ in range(n):
+            singles.observe(value)
+        bulk = Registry().histogram("h", buckets=(0.5, 2.0, 5.0))
+        bulk.observe_many(value, n)
+        assert bulk.counts == singles.counts
+        assert bulk.count == singles.count
+        assert bulk.sum == pytest.approx(singles.sum, rel=1e-9, abs=1e-12)
+
+    check()
+
+
+def test_observe_many_zero_is_noop_and_negative_raises():
+    hist = Registry().histogram("h", buckets=(1.0,))
+    hist.observe_many(0.5, 0)
+    assert hist.count == 0 and hist.sum == 0.0
+    with pytest.raises(ValueError):
+        hist.observe_many(0.5, -1)
+
+
+def test_observe_many_snapshots_stay_merge_compatible():
+    a = Registry()
+    a.histogram("h", buckets=(1.0, 2.0)).observe_many(0.5, 7)
+    b = Registry()
+    b.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+    b.merge(a.snapshot())
+    merged = b.snapshot()["histograms"]["h"]
+    assert merged["count"] == 8
+    assert merged["counts"] == [7, 1, 0]
+
+
+def test_null_instrument_supports_observe_many():
+    NULL_INSTRUMENT.observe_many(1.0, 100)  # must not raise
+    hist = NULL_REGISTRY.histogram("anything")
+    hist.observe_many(1.0, 100)
