@@ -1,0 +1,138 @@
+"""Health-evaluation cost: alert throughput and the disabled-path tax.
+
+``HealthEvaluator`` sits on the fleet's verdict path, so two numbers
+gate whether live health monitoring is acceptable at run time:
+
+1. Throughput: verdicts/second through :meth:`observe_verdict` with a
+   realistic rule+SLO set attached (every verdict triggers a full rule
+   evaluation pass), and trace events/second through :meth:`ingest`
+   (the ``watch`` replay path).
+2. Disabled path: a monitor built with ``health=None`` pays one
+   attribute check per execution — the same near-zero contract
+   ``bench_obs_overhead.py`` pins for the null tracer/registry.
+
+Results land in ``BENCH_health.json`` (cwd, or ``$REPRO_BENCH_DIR``)
+so CI can track the trajectory across PRs.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.obs import HealthEvaluator, parse_alert_spec, parse_slo
+
+N_VERDICTS = 20_000
+MICRO_OPS = 100_000
+#: Same ceiling bench_obs_overhead.py pins for disabled telemetry ops.
+MAX_DISABLED_OP_SECONDS = 5e-6
+#: Evaluating rules on every verdict must still clear this rate.
+MIN_VERDICTS_PER_SECOND = 20_000
+
+RULES = [
+    parse_alert_spec("degraded_ratio>=0.2:critical:5:0.1"),
+    parse_alert_spec("windows_lost_fraction>=0.1:warning"),
+    parse_alert_spec("retry_rate>=0.5:warning:10"),
+    parse_alert_spec("detection_rate>=0.9:info"),
+]
+SLOS = [
+    parse_slo("nondegraded>=0.95"),
+    parse_slo("windows_kept>=0.9"),
+    parse_slo("p95_classify_s<=0.01"),
+]
+
+
+def _make_evaluator():
+    return HealthEvaluator(rules=list(RULES), slos=list(SLOS), window_s=30.0)
+
+
+def _feed_verdicts(evaluator, n=N_VERDICTS):
+    for i in range(n):
+        evaluator.observe_verdict(
+            "app",
+            is_malware=i % 3 == 0,
+            degraded=i % 7 == 0,
+            n_windows=10,
+            n_windows_lost=i % 11 == 0,
+            retries=i % 13 == 0,
+            ts=i * 0.01,
+        )
+
+
+def _bench_out_path():
+    return Path(os.environ.get("REPRO_BENCH_DIR", ".")) / "BENCH_health.json"
+
+
+def test_health_evaluation_throughput(benchmark):
+    # observe path: every verdict slides the window and evaluates rules.
+    evaluator = _make_evaluator()
+    elapsed = benchmark.pedantic(
+        lambda: _feed_verdicts(evaluator), rounds=1, iterations=1
+    )
+    start = time.perf_counter()
+    observe_evaluator = _make_evaluator()
+    _feed_verdicts(observe_evaluator)
+    observe_seconds = time.perf_counter() - start
+    observe_rate = N_VERDICTS / observe_seconds
+
+    # ingest path: the same verdicts as fleet.verdict trace events.
+    events = [
+        {
+            "type": "event", "name": "fleet.verdict", "ts": i * 0.01,
+            "attrs": {
+                "app": "app", "is_malware": i % 3 == 0,
+                "degraded": i % 7 == 0, "n_windows": 10,
+                "n_windows_lost": int(i % 11 == 0), "attempts": 1 + (i % 13 == 0),
+            },
+        }
+        for i in range(N_VERDICTS)
+    ]
+    ingest_evaluator = _make_evaluator()
+    start = time.perf_counter()
+    for event in events:
+        ingest_evaluator.ingest(event)
+    ingest_seconds = time.perf_counter() - start
+    ingest_rate = N_VERDICTS / ingest_seconds
+
+    # disabled path: the monitors guard the hook with one None check.
+    health = None
+    start = time.perf_counter()
+    for _ in range(MICRO_OPS):
+        if health is not None:
+            raise AssertionError("unreachable")
+    per_disabled_op = (time.perf_counter() - start) / MICRO_OPS
+
+    print()
+    print(
+        f"health observe: {observe_rate:,.0f} verdicts/s  "
+        f"ingest: {ingest_rate:,.0f} events/s  "
+        f"disabled check: {per_disabled_op * 1e9:.1f}ns"
+    )
+    assert observe_rate > MIN_VERDICTS_PER_SECOND
+    assert ingest_rate > MIN_VERDICTS_PER_SECOND
+    assert per_disabled_op < MAX_DISABLED_OP_SECONDS
+    # Both paths fed identical evidence -> identical lifetime totals.
+    assert (
+        ingest_evaluator.window.total_degraded
+        == observe_evaluator.window.total_degraded
+    )
+
+    out = _bench_out_path()
+    out.write_text(
+        json.dumps(
+            {
+                "bench": "health",
+                "n_verdicts": N_VERDICTS,
+                "rules": len(RULES),
+                "slos": len(SLOS),
+                "observe_verdicts_per_second": observe_rate,
+                "ingest_events_per_second": ingest_rate,
+                "disabled_check_seconds": per_disabled_op,
+                "alerts_fired": sum(
+                    s.fired_count for s in observe_evaluator.states
+                ),
+            },
+            indent=1,
+        )
+    )
+    print(f"wrote {out}")

@@ -12,18 +12,24 @@ Installed as ``repro-hmd``.  Subcommands:
 * ``verilog``  — emit RTL for a trained detector.
 * ``crossval`` — cross-validated scores with error bars.
 * ``evasion``  — malware recall vs evasion strength.
-* ``stats``    — summarize a trace/metrics file from a previous run.
+* ``stats``    — summarize trace/metrics files from a previous run.
+* ``watch``    — live health monitoring over a trace/metrics pair.
 
 ``matrix``/``hardware``/``monitor``/``fleet``/``crossval`` accept
 ``--trace-out PATH`` (JSONL span/event trace) and ``--metrics-out
 PATH`` (JSON metrics snapshot); instrumentation is off — and free —
-unless one of them is given.
+unless one of them is given.  ``monitor``/``fleet`` additionally accept
+``--health-out`` / ``--alerts`` / ``--alert`` / ``--slo`` to evaluate
+health in-process and write a final health report; ``watch`` follows
+the files of a live (or finished, with ``--once``) run and exits
+non-zero when a critical alert fired.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro import __version__
 from repro.analysis import (
@@ -53,12 +59,22 @@ from repro.features import rank_features
 from repro.hpc import ContainerPool, FaultPlan
 from repro.ml import app_level_split
 from repro.obs import (
+    HealthConfigError,
+    HealthEvaluator,
     MatrixProgressSink,
+    MetricsError,
+    MetricsFollower,
     Registry,
+    TraceFollower,
     Tracer,
+    health_table,
+    load_alert_rules,
     load_metrics,
     load_trace,
+    merge_snapshots,
     metrics_table,
+    parse_alert_spec,
+    parse_slo,
     span_table,
 )
 from repro.workloads import BENIGN_FAMILIES, MALWARE_FAMILIES, default_corpus
@@ -212,6 +228,90 @@ def _dump_obs(args: argparse.Namespace, tracer: Tracer, metrics: Registry) -> No
         print(f"wrote metrics {args.metrics_out}", file=sys.stderr)
 
 
+def _alert_spec(text: str) -> object:
+    try:
+        return parse_alert_spec(text)
+    except HealthConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _slo_spec(text: str) -> object:
+    try:
+        return parse_slo(text)
+    except HealthConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_health_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--health-out", default=None, metavar="PATH",
+        help="write a final health report JSON (signals, alert states, SLOs)",
+    )
+    parser.add_argument(
+        "--alerts", default=None, metavar="RULES.json",
+        help="JSON file of alert rules (a list, or {'rules': [...]})",
+    )
+    parser.add_argument(
+        "--alert", type=_alert_spec, action="append", metavar="SPEC",
+        help="inline alert rule, e.g. degraded_ratio>=0.2:critical:5:0.1 "
+        "(SIGNAL OP THRESHOLD[:severity[:for_s[:clear_threshold]]]); repeatable",
+    )
+    parser.add_argument(
+        "--slo", type=_slo_spec, action="append", metavar="SPEC",
+        help="service-level objective, e.g. nondegraded>=0.95 or "
+        "p95_classify_s<=0.01; repeatable",
+    )
+    parser.add_argument(
+        "--health-window", type=float, default=60.0, metavar="SECONDS",
+        help="sliding window for derived health signals (default 60)",
+    )
+
+
+def _health_rules_and_slos(args: argparse.Namespace) -> tuple[list, list]:
+    try:
+        rules = list(load_alert_rules(args.alerts)) if args.alerts else []
+    except (OSError, HealthConfigError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    return rules + list(args.alert or []), list(args.slo or [])
+
+
+def _make_health(
+    args: argparse.Namespace, tracer: Tracer, metrics: Registry
+) -> HealthEvaluator | None:
+    """Build the in-process health evaluator when any health flag asks.
+
+    Alert transitions are rendered to stderr as they happen and also
+    recorded into the run's tracer/registry, so ``--trace-out`` /
+    ``--metrics-out`` artifacts carry the health history.
+    """
+    rules, slos = _health_rules_and_slos(args)
+    if not (args.health_out or rules or slos):
+        return None
+    return HealthEvaluator(
+        rules=rules,
+        slos=slos,
+        window_s=args.health_window,
+        tracer=tracer,
+        metrics=metrics,
+        stream=sys.stderr,
+    )
+
+
+def _finish_health(args: argparse.Namespace, health: HealthEvaluator | None) -> None:
+    if health is None:
+        return
+    firing = [state.rule.name for state in health.firing]
+    print(
+        f"health: {int(health.window.total_verdicts)} verdicts observed, "
+        f"{len(firing)} alert(s) firing"
+        + (f" ({', '.join(firing)})" if firing else ""),
+        file=sys.stderr,
+    )
+    if args.health_out:
+        health.dump(args.health_out)
+        print(f"wrote health report {args.health_out}", file=sys.stderr)
+
+
 def _make_runner(
     corpus,
     seeds: tuple[int, ...],
@@ -306,12 +406,14 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     config = DetectorConfig(args.classifier, args.ensemble, args.hpcs)
     with tracer.span("cli.fit", config=config.name):
         detector = HMDDetector(config).fit(split.train)
+    health = _make_health(args, tracer, metrics)
     monitor = RuntimeMonitor(
         detector,
         n_counters=args.counters,
         vote_threshold=args.vote_threshold,
         tracer=tracer,
         metrics=metrics,
+        health=health,
     )
     pool = ContainerPool(seed=args.seed + 99)
     import numpy as np
@@ -332,6 +434,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
                 f"flagged={verdict.malware_fraction:.0%}"
             )
     print(f"\napplication-level accuracy: {correct}/{total}")
+    _finish_health(args, health)
     _dump_obs(args, tracer, metrics)
     return 0
 
@@ -352,6 +455,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         if args.faults is not None
         else None
     )
+    health = _make_health(args, tracer, metrics)
     fleet = FleetMonitor(
         detector,
         workers=args.fleet_workers,
@@ -362,6 +466,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         pool_seed=args.seed + 99,
         tracer=tracer,
         metrics=metrics,
+        health=health,
     )
     rng = np.random.default_rng(args.seed + 100)
     jobs = []
@@ -391,6 +496,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         f"degraded: {degraded}  windows lost: {lost}  "
         f"mean confidence: {mean_conf:.2f}"
     )
+    _finish_health(args, health)
     _dump_obs(args, tracer, metrics)
     return 0
 
@@ -441,7 +547,12 @@ def cmd_crossval(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    """Summarize trace/metrics files written by --trace-out/--metrics-out."""
+    """Summarize trace/metrics files written by --trace-out/--metrics-out.
+
+    ``--metrics`` accepts several files (e.g. one snapshot per worker);
+    they are merged with the exact histogram merge before rendering, so
+    the table reads as one run.
+    """
     if not args.trace and not args.metrics:
         raise SystemExit("error: stats needs --trace and/or --metrics")
     sections = []
@@ -449,11 +560,75 @@ def cmd_stats(args: argparse.Namespace) -> int:
         if args.trace:
             sections.append(span_table(load_trace(args.trace)))
         if args.metrics:
-            sections.append(metrics_table(load_metrics(args.metrics)))
-    except (OSError, ValueError) as exc:
+            snapshot = merge_snapshots(load_metrics(path) for path in args.metrics)
+            sections.append(metrics_table(snapshot))
+    except (OSError, ValueError, MetricsError) as exc:
         raise SystemExit(f"error: {exc}") from exc
     print("\n\n".join(sections))
     return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    """Follow a run's trace/metrics pair and evaluate health live.
+
+    With ``--once`` the files are read in full, evaluated at their own
+    event timestamps (so repeated invocations on the same artifacts
+    report identical transitions), and the process exits 1 if any
+    critical alert fired — the CI assertion mode.  Without it, the
+    files are tailed and a refreshing health table renders every
+    ``--interval`` seconds until Ctrl-C or ``--duration`` elapses.
+    """
+    rules, slos = _health_rules_and_slos(args)
+    evaluator = HealthEvaluator(
+        rules=rules, slos=slos, window_s=args.health_window, stream=sys.stderr
+    )
+    if args.once:
+        try:
+            events = load_trace(args.trace)
+        except OSError as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        last_ts = 0.0
+        for event in events:
+            evaluator.ingest(event)
+            last_ts = max(last_ts, float(event.get("ts", 0.0)))
+        if args.metrics:
+            try:
+                snapshot = load_metrics(args.metrics)
+            except (OSError, ValueError) as exc:
+                raise SystemExit(f"error: {exc}") from exc
+            evaluator.absorb_metrics(snapshot, ts=last_ts)
+            evaluator.tick(last_ts)
+        print(health_table(evaluator.report()))
+        if args.health_out:
+            evaluator.dump(args.health_out)
+            print(f"wrote health report {args.health_out}", file=sys.stderr)
+        return 1 if evaluator.critical_fired() else 0
+    trace_follower = TraceFollower(args.trace)
+    metrics_follower = MetricsFollower(args.metrics) if args.metrics else None
+    deadline = time.monotonic() + args.duration if args.duration else None
+    try:
+        while True:
+            for event in trace_follower.poll():
+                evaluator.ingest(event)
+            if metrics_follower is not None:
+                delta = metrics_follower.poll()
+                if delta is not None:
+                    evaluator.absorb_metrics(delta)
+            evaluator.tick()
+            table = health_table(evaluator.report())
+            # Clear-and-home on a real terminal; plain append otherwise
+            # (pipes and tests get one table per refresh).
+            prefix = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+            print(prefix + table, flush=True)
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    if args.health_out:
+        evaluator.dump(args.health_out)
+        print(f"wrote health report {args.health_out}", file=sys.stderr)
+    return 1 if evaluator.critical_fired() else 0
 
 
 def cmd_evasion(args: argparse.Namespace) -> int:
@@ -542,6 +717,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--stride", type=int, default=1,
                    help="monitor every Nth family only")
     _add_obs_args(p)
+    _add_health_args(p)
     p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser(
@@ -565,6 +741,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--retries", type=_positive_int, default=3, metavar="N",
                    help="max attempts per application on transient faults")
     _add_obs_args(p)
+    _add_health_args(p)
     p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser("verilog", help="emit RTL for a trained detector")
@@ -588,13 +765,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_crossval)
 
     p = sub.add_parser(
-        "stats", help="summarize a trace/metrics file from a previous run"
+        "stats", help="summarize trace/metrics files from a previous run"
     )
     p.add_argument("--trace", metavar="PATH",
                    help="JSONL trace written by --trace-out")
-    p.add_argument("--metrics", metavar="PATH",
-                   help="JSON metrics snapshot written by --metrics-out")
+    p.add_argument("--metrics", metavar="PATH", nargs="+",
+                   help="JSON metrics snapshot(s) written by --metrics-out; "
+                   "several (e.g. per-worker) files merge exactly")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "watch", help="live health monitoring over a trace/metrics pair"
+    )
+    p.add_argument("--trace", required=True, metavar="PATH",
+                   help="JSONL trace a run writes via --trace-out "
+                   "(may still be growing)")
+    p.add_argument("--metrics", metavar="PATH",
+                   help="JSON metrics snapshot the same run writes via "
+                   "--metrics-out (classify-latency source)")
+    _add_health_args(p)
+    p.add_argument("--once", action="store_true",
+                   help="evaluate the files once and exit; exit code 1 when "
+                   "any critical alert fired (CI mode)")
+    p.add_argument("--interval", type=float, default=2.0, metavar="SECONDS",
+                   help="refresh period while following (default 2)")
+    p.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                   help="stop following after this long (default: until Ctrl-C)")
+    p.set_defaults(func=cmd_watch)
 
     p = sub.add_parser("evasion", help="malware recall vs evasion strength")
     _add_corpus_args(p)

@@ -58,8 +58,10 @@ from repro.hpc.lxc import ContainerPool
 from repro.hpc.microarch import DEFAULT_WINDOW_MS, ApplicationBehavior
 from repro.obs import (
     DEFAULT_LATENCY_BUCKETS,
+    FAST_LATENCY_BUCKETS,
     NULL_REGISTRY,
     NULL_TRACER,
+    HealthEvaluator,
     Registry,
     Tracer,
 )
@@ -153,6 +155,11 @@ class FleetMonitor:
         metrics: optional registry; counts faults by kind, retries,
             degraded verdicts, dropped windows, and observes backoff
             sleeps into ``fleet_backoff_sleep_seconds``.
+        health: optional :class:`~repro.obs.HealthEvaluator` fed every
+            verdict (with its retry count and lost windows) and every
+            classify latency in-process, from the worker threads; the
+            evaluator observes but never alters verdicts, so fleet
+            output stays bit-identical with health enabled.
         sleep: injection point for backoff sleeping (tests pass a
             recorder; production uses :func:`time.sleep`).
     """
@@ -169,6 +176,7 @@ class FleetMonitor:
         pool_seed: int = 0,
         tracer: Tracer | None = None,
         metrics: Registry | None = None,
+        health: HealthEvaluator | None = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         validate_deployment(detector, n_counters, vote_threshold)
@@ -184,6 +192,7 @@ class FleetMonitor:
         self.pool_seed = pool_seed
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.health = health
         self.sleep = sleep
         # Instrument updates happen from worker threads; Counter.inc is
         # a read-modify-write, so serialize them with one fleet lock.
@@ -219,6 +228,12 @@ class FleetMonitor:
             "fleet_backoff_sleep_seconds",
             "retry backoff sleeps (exponential, deterministic jitter)",
             buckets=DEFAULT_LATENCY_BUCKETS,
+        )
+        self._h_classify = self.metrics.histogram(
+            "fleet_window_classify_seconds",
+            "per-window classification latency (amortized over each "
+            "attempt's batch)",
+            buckets=FAST_LATENCY_BUCKETS,
         )
 
     def _inc(self, counter, amount: float = 1.0) -> None:
@@ -261,11 +276,19 @@ class FleetMonitor:
                 self.n_counters, glitch_read=draw.glitch_read
             )
         try:
+            start = time.perf_counter()
             flags = classify_trace(
                 self.detector, self.n_counters, trace, register_file=register_file
             )
+            elapsed = time.perf_counter() - start
         except CounterReadGlitchError as exc:
             raise _TransientFault("glitch", trace[: exc.windows_read]) from exc
+        if flags.size:
+            per_window = elapsed / flags.size
+            with self._metrics_lock:
+                self._h_classify.observe_many(per_window, int(flags.size))
+            if self.health is not None:
+                self.health.observe_classify(per_window, int(flags.size))
         if n_lost:
             self._inc(self._c_dropped, n_lost)
         return DetectionVerdict.from_flags(
@@ -358,6 +381,15 @@ class FleetMonitor:
                 verdict.window_flags, self.vote_threshold
             ),
         )
+        if self.health is not None:
+            self.health.observe_verdict(
+                job.app.name,
+                is_malware=verdict.is_malware,
+                degraded=verdict.degraded,
+                n_windows=verdict.n_windows,
+                n_windows_lost=verdict.n_windows_lost,
+                retries=attempts - 1,
+            )
         return verdict
 
     # -- the fleet ------------------------------------------------------

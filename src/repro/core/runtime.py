@@ -35,6 +35,7 @@ from repro.obs import (
     FAST_LATENCY_BUCKETS,
     NULL_REGISTRY,
     NULL_TRACER,
+    HealthEvaluator,
     Registry,
     Tracer,
 )
@@ -231,6 +232,10 @@ class RuntimeMonitor:
             paper's run-time quantities: a per-window classification
             latency histogram (amortized over the vectorized batch) and
             a windows-to-alarm detection-latency gauge.
+        health: optional :class:`~repro.obs.HealthEvaluator` fed each
+            verdict and classify latency in-process (no file
+            round-trip); it observes but never alters verdicts, and
+            None costs one attribute check per execution.
     """
 
     def __init__(
@@ -241,6 +246,7 @@ class RuntimeMonitor:
         window_ms: float = DEFAULT_WINDOW_MS,
         tracer: Tracer | None = None,
         metrics: Registry | None = None,
+        health: HealthEvaluator | None = None,
     ) -> None:
         validate_deployment(detector, n_counters, vote_threshold)
         self.detector = detector
@@ -249,6 +255,7 @@ class RuntimeMonitor:
         self.window_ms = window_ms
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.health = health
         self._h_classify = self.metrics.histogram(
             "monitor_window_classify_seconds",
             "per-window classification latency (amortized over the batch)",
@@ -313,6 +320,16 @@ class RuntimeMonitor:
             n_windows=verdict.n_windows,
             detection_latency_windows=latency,
         )
+        if self.health is not None:
+            if n:
+                self.health.observe_classify(elapsed / n, n)
+            self.health.observe_verdict(
+                app.name,
+                is_malware=verdict.is_malware,
+                degraded=verdict.degraded,
+                n_windows=verdict.n_windows,
+                n_windows_lost=verdict.n_windows_lost,
+            )
         return verdict
 
     def detection_latency_windows(self, verdict: DetectionVerdict) -> int | None:

@@ -1,6 +1,6 @@
 """repro.obs — zero-dependency observability for the evaluation pipeline.
 
-Three pieces, all free when disabled:
+Five pieces, all free when disabled:
 
 * :mod:`repro.obs.trace` — span-based :class:`Tracer` (context-manager
   API, monotonic durations, parent/child nesting, per-worker buffers)
@@ -10,13 +10,34 @@ Three pieces, all free when disabled:
   exporters, mergeable across worker processes.
 * :mod:`repro.obs.sink` / :mod:`repro.obs.stats` — the unified matrix
   progress sink and the renderers behind ``repro-hmd stats``.
+* :mod:`repro.obs.stream` — followers that tail a live trace/metrics
+  pair as it grows (rotation- and truncation-tolerant).
+* :mod:`repro.obs.health` — sliding-window signals, declarative alert
+  rules, and SLO/error-budget tracking behind ``repro-hmd watch`` and
+  the monitors' in-process ``health=`` hook.
 
 Instrumented components (``MatrixRunner``, ``ResultCache``,
-``RuntimeMonitor``, the CLI) default to the shared :data:`NULL_TRACER`
-and :data:`NULL_REGISTRY`, so instrumentation costs one attribute check
-unless a run opts in with ``--trace-out`` / ``--metrics-out``.
+``RuntimeMonitor``, ``FleetMonitor``, the CLI) default to the shared
+:data:`NULL_TRACER` and :data:`NULL_REGISTRY` (and ``health=None``), so
+instrumentation costs one attribute check unless a run opts in with
+``--trace-out`` / ``--metrics-out`` / ``--health-out``.
 """
 
+from repro.obs.health import (
+    HEALTH_SCHEMA_VERSION,
+    SEVERITIES,
+    SIGNAL_NAMES,
+    AlertRule,
+    AlertState,
+    HealthConfigError,
+    HealthEvaluator,
+    SLO,
+    SlidingWindowSignals,
+    health_table,
+    load_alert_rules,
+    parse_alert_spec,
+    parse_slo,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     FAST_LATENCY_BUCKETS,
@@ -27,16 +48,20 @@ from repro.obs.metrics import (
     Histogram,
     MetricsError,
     Registry,
+    merge_snapshots,
+    snapshot_delta,
 )
 from repro.obs.sink import MatrixProgressSink
 from repro.obs.stats import (
     SpanStat,
     aggregate_spans,
+    histogram_quantile,
     load_metrics,
     metrics_table,
     span_table,
     toplevel_wall_seconds,
 )
+from repro.obs.stream import MetricsFollower, TraceFollower
 from repro.obs.trace import (
     NULL_SPAN,
     NULL_TRACER,
@@ -49,24 +74,42 @@ from repro.obs.trace import (
 __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "FAST_LATENCY_BUCKETS",
+    "HEALTH_SCHEMA_VERSION",
     "NULL_INSTRUMENT",
     "NULL_REGISTRY",
     "NULL_SPAN",
     "NULL_TRACER",
+    "SEVERITIES",
+    "SIGNAL_NAMES",
     "TRACE_SCHEMA_VERSION",
+    "AlertRule",
+    "AlertState",
     "Counter",
     "Gauge",
+    "HealthConfigError",
+    "HealthEvaluator",
     "Histogram",
     "MatrixProgressSink",
     "MetricsError",
+    "MetricsFollower",
     "Registry",
+    "SLO",
+    "SlidingWindowSignals",
     "Span",
     "SpanStat",
     "Tracer",
+    "TraceFollower",
     "aggregate_spans",
+    "health_table",
+    "histogram_quantile",
+    "load_alert_rules",
     "load_metrics",
     "load_trace",
+    "merge_snapshots",
     "metrics_table",
+    "parse_alert_spec",
+    "parse_slo",
+    "snapshot_delta",
     "span_table",
     "toplevel_wall_seconds",
 ]

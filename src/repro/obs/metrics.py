@@ -291,6 +291,59 @@ class Registry:
         path.write_text(self.to_json())
 
 
+def merge_snapshots(snapshots) -> dict:
+    """Exactly merge several registry snapshots into one.
+
+    Counters and histogram buckets add; gauges take the last snapshot's
+    value — the same semantics :meth:`Registry.merge` applies when a
+    parallel runner folds worker registries into the parent.  This is
+    what lets ``repro-hmd stats`` accept one ``--metrics-out`` file per
+    worker and render them as a single run.
+    """
+    registry = Registry()
+    for snapshot in snapshots:
+        registry.merge(snapshot)
+    return registry.snapshot()
+
+
+def snapshot_delta(old: dict, new: dict) -> dict:
+    """The change from ``old`` to ``new``, as a mergeable snapshot.
+
+    Counters and histogram bucket counts subtract (clamped at zero, so a
+    producer restart that reset its registry degrades to "no change"
+    rather than negative counts); gauges take the new value.  The result
+    is itself a valid snapshot: absorbing every delta via
+    :meth:`Registry.merge` reconstructs the cumulative state, which is
+    how a live watcher folds a growing metrics file into a sliding
+    window without double counting.
+    """
+    delta: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for name, data in new.get("counters", {}).items():
+        previous = old.get("counters", {}).get(name, {}).get("value", 0.0)
+        delta["counters"][name] = {
+            "help": data.get("help", ""),
+            "value": max(data["value"] - previous, 0.0),
+        }
+    for name, data in new.get("gauges", {}).items():
+        delta["gauges"][name] = dict(data)
+    for name, data in new.get("histograms", {}).items():
+        previous = old.get("histograms", {}).get(name)
+        if previous is None or list(previous["buckets"]) != list(data["buckets"]):
+            delta["histograms"][name] = dict(data)
+            continue
+        counts = [
+            max(c - p, 0) for c, p in zip(data["counts"], previous["counts"])
+        ]
+        delta["histograms"][name] = {
+            "help": data.get("help", ""),
+            "buckets": list(data["buckets"]),
+            "counts": counts,
+            "sum": max(data["sum"] - previous["sum"], 0.0),
+            "count": max(data["count"] - previous["count"], 0),
+        }
+    return delta
+
+
 def _prom_header(name: str, help: str, kind: str) -> list[str]:
     lines = []
     if help:

@@ -96,15 +96,29 @@ def load_metrics(path: str | Path) -> dict:
     return snapshot
 
 
-def _histogram_quantile(data: dict, q: float) -> float:
-    """Upper-bound estimate of quantile ``q`` from bucket counts."""
-    target = q * data["count"]
+def histogram_quantile(data: dict, q: float) -> float:
+    """Upper-bound estimate of quantile ``q`` from bucket counts.
+
+    NaN-safe by construction: an empty histogram (zero observations) or
+    a nonsensical ``q`` yields ``nan`` rather than raising or inventing
+    a bucket bound, and data whose observations all landed in the
+    implicit +Inf overflow bucket yields ``inf`` — the honest answer
+    when every recorded value exceeded the largest finite bound.
+    """
+    count = data.get("count", 0)
+    if count <= 0 or not 0.0 <= q <= 1.0:
+        return float("nan")
+    target = q * count
     cumulative = 0
-    for bound, count in zip(data["buckets"], data["counts"]):
-        cumulative += count
-        if cumulative >= target:
+    for bound, bucket_count in zip(data.get("buckets", ()), data.get("counts", ())):
+        cumulative += bucket_count
+        if bucket_count and cumulative >= target:
             return float(bound)
     return float("inf")
+
+
+#: Backwards-compatible alias (the helper predates its public export).
+_histogram_quantile = histogram_quantile
 
 
 def metrics_table(snapshot: dict) -> str:
@@ -130,8 +144,8 @@ def metrics_table(snapshot: dict) -> str:
         for name, data in sorted(histograms.items()):
             count = data["count"]
             mean = data["sum"] / count if count else 0.0
-            p50 = _histogram_quantile(data, 0.50) if count else 0.0
-            p95 = _histogram_quantile(data, 0.95) if count else 0.0
+            p50 = histogram_quantile(data, 0.50)
+            p95 = histogram_quantile(data, 0.95)
             lines.append(
                 f"  {name:38s} {count:>7d} {mean * 1e3:>9.3f} "
                 f"{_ms(p50):>9s} {_ms(p95):>9s} {data['sum']:>9.3f}"
@@ -148,6 +162,8 @@ def _num(value: float) -> str:
 
 
 def _ms(seconds: float) -> str:
+    if seconds != seconds:  # NaN: no observations to take a quantile of
+        return "-"
     if seconds == float("inf"):
         return "+Inf"
     return f"{seconds * 1e3:.3f}"

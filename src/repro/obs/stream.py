@@ -1,0 +1,144 @@
+"""Streaming readers for live telemetry artifacts.
+
+``--trace-out`` and ``--metrics-out`` were designed as *post-hoc*
+artifacts: write the file at exit, render it with ``repro-hmd stats``.
+Live health monitoring inverts that — ``repro-hmd watch`` must consume
+the same files *while the producing run is still appending to them*.
+Two followers make that safe:
+
+* :class:`TraceFollower` tails a JSONL trace incrementally.  Each
+  :meth:`~TraceFollower.poll` returns only the complete events appended
+  since the previous poll; a trailing line without its newline (the
+  producer is mid-write, or crashed mid-write) is buffered, not parsed,
+  exactly mirroring :func:`~repro.obs.trace.load_trace`'s tolerance for
+  crash-truncated tails.  Rotation or truncation (the file shrank or was
+  replaced) resets the follower to the start of the new file instead of
+  reading garbage from a stale offset.
+* :class:`MetricsFollower` re-reads a JSON metrics snapshot whenever it
+  changes and reports the *delta* since the last good snapshot via
+  :func:`~repro.obs.metrics.snapshot_delta`, so cumulative counters and
+  histograms can be folded into a sliding window without double
+  counting.  A half-written snapshot (producer mid-dump) parses as
+  garbage and is simply skipped until the next poll.
+
+Neither follower ever raises on a missing file — a watcher may start
+before the run it is watching.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs.metrics import snapshot_delta
+
+
+class TraceFollower:
+    """Incrementally read new events from a growing JSONL trace.
+
+    Args:
+        path: trace file to follow; may not exist yet.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._offset = 0
+        self._signature: tuple[int, int] | None = None
+        self._partial = b""
+
+    def _stat_signature(self) -> tuple[int, int] | None:
+        try:
+            stat = os.stat(self.path)
+        except OSError:
+            return None
+        return (stat.st_dev, stat.st_ino)
+
+    def poll(self, flush: bool = False) -> list[dict]:
+        """Return events appended since the last poll.
+
+        A final line with no terminating newline stays buffered for the
+        next poll — unless ``flush`` is True, in which case it is parsed
+        if it decodes (the ``--once`` / end-of-run case, where no more
+        bytes are coming).  Undecodable complete lines are skipped, like
+        :func:`~repro.obs.trace.load_trace`.
+        """
+        signature = self._stat_signature()
+        if signature is None:
+            return []
+        if signature != self._signature:
+            # New file (first poll, or the trace was rotated/replaced).
+            self._signature = signature
+            self._offset = 0
+            self._partial = b""
+        try:
+            with open(self.path, "rb") as handle:
+                size = os.fstat(handle.fileno()).st_size
+                if size < self._offset:
+                    # Truncated in place: start over.
+                    self._offset = 0
+                    self._partial = b""
+                handle.seek(self._offset)
+                chunk = handle.read()
+                self._offset = handle.tell()
+        except OSError:
+            return []
+        buffer = self._partial + chunk
+        lines = buffer.split(b"\n")
+        self._partial = lines.pop()
+        if flush and self._partial:
+            lines.append(self._partial)
+            self._partial = b""
+        events = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+        return events
+
+
+class MetricsFollower:
+    """Follow a JSON metrics snapshot file and report per-poll deltas.
+
+    Attributes:
+        latest: the last snapshot that parsed successfully (None until
+            the first good read).
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.latest: dict | None = None
+        self._last_raw: bytes | None = None
+
+    def poll(self) -> dict | None:
+        """Return the change since the previous good snapshot, or None.
+
+        None means "nothing new": the file is missing, unchanged, or
+        currently half-written.  Counters and histogram bucket counts in
+        the returned delta are the exact increments since the last good
+        snapshot (see :func:`~repro.obs.metrics.snapshot_delta`), so
+        absorbing every delta reconstructs the cumulative state.
+        """
+        try:
+            raw = self.path.read_bytes()
+        except OSError:
+            return None
+        if raw == self._last_raw:
+            return None
+        try:
+            snapshot = json.loads(raw)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(snapshot, dict):
+            return None
+        self._last_raw = raw
+        previous, self.latest = self.latest, snapshot
+        if previous is None:
+            return snapshot
+        return snapshot_delta(previous, snapshot)

@@ -304,3 +304,79 @@ def test_fleet_accepts_tuple_jobs(detector4, jobs):
     fleet = FleetMonitor(detector4, workers=1, pool_seed=POOL_SEED)
     as_tuples = [(j.app, j.n_windows, j.is_malware) for j in jobs[:2]]
     assert fleet.monitor_fleet(as_tuples) == fleet.monitor_fleet(jobs[:2])
+
+
+# -- in-process health hook --------------------------------------------
+
+
+def test_fleet_with_health_is_bit_identical_to_serial(detector4, jobs):
+    """Enabling health evaluation must not perturb verdicts."""
+    from repro.obs import HealthEvaluator, parse_alert_spec
+
+    serial = RuntimeMonitor(detector4, n_counters=4)
+    pool = ContainerPool(seed=POOL_SEED)
+    serial_verdicts = [
+        serial.monitor(job.app, job.n_windows, pool, job.is_malware) for job in jobs
+    ]
+    health = HealthEvaluator(rules=[parse_alert_spec("degraded_ratio>=0.5:critical")])
+    fleet = FleetMonitor(detector4, workers=4, pool_seed=POOL_SEED, health=health)
+    fleet_verdicts = fleet.monitor_fleet(jobs)
+    assert fleet_verdicts == serial_verdicts
+    assert health.window.total_verdicts == len(jobs)
+    assert health.window.total_degraded == 0
+    assert not health.critical_fired()
+
+
+def test_fleet_health_observes_faulted_run(detector4, jobs):
+    from repro.obs import HealthEvaluator, parse_alert_spec
+
+    health = HealthEvaluator(rules=[parse_alert_spec("degraded_ratio>=0.05:critical")])
+    fleet = FleetMonitor(
+        detector4,
+        workers=2,
+        pool_seed=POOL_SEED,
+        faults=FaultPlan(seed=77, crash_rate=0.4, glitch_rate=0.3, drop_rate=0.15),
+        sleep=no_sleep,
+        health=health,
+    )
+    verdicts = fleet.monitor_fleet(jobs)
+    assert health.window.total_verdicts == len(jobs)
+    assert health.window.total_degraded == sum(v.degraded for v in verdicts)
+    assert health.window.total_degraded > 0
+    assert health.critical_fired()
+    # Signal values agree with the verdicts the run actually produced.
+    assert health.last_values["verdicts"] == float(len(jobs))
+
+
+def test_fleet_trace_replay_yields_identical_alert_transitions(detector4, jobs):
+    """The acceptance contract: one faulted run, many identical watches."""
+    from repro.obs import HealthEvaluator, parse_alert_spec
+
+    tracer = Tracer()
+    fleet = FleetMonitor(
+        detector4,
+        workers=2,
+        pool_seed=POOL_SEED,
+        faults=FaultPlan(seed=77, crash_rate=0.4, glitch_rate=0.3, drop_rate=0.15),
+        sleep=no_sleep,
+        tracer=tracer,
+    )
+    fleet.monitor_fleet(jobs)
+    events = [e for e in tracer.events if e["name"] == "fleet.verdict"]
+    assert events
+
+    def replay():
+        evaluator = HealthEvaluator(
+            rules=[parse_alert_spec("degraded_ratio>=0.05:critical:0:0.01")]
+        )
+        for event in events:
+            evaluator.ingest(event)
+        (state,) = evaluator.states
+        return state.transitions
+
+    first, second = replay(), replay()
+    assert first == second
+    assert first[0]["state"] == "firing"
+    # Transition timestamps come from the trace, not the watcher's clock.
+    trace_ts = {e["ts"] for e in events}
+    assert all(t["ts"] in trace_ts for t in first)

@@ -201,3 +201,35 @@ def test_monitor_window_histogram_records_one_entry_per_window(detector4):
     assert hist["count"] == 25
     assert sum(hist["counts"]) == 25
     assert hist["sum"] > 0.0
+
+
+def test_monitor_health_hook_observes_without_perturbing(detector4):
+    """health= feeds the evaluator in-process; verdicts stay identical."""
+    from repro.obs import HealthEvaluator, parse_slo
+
+    app = BENIGN_FAMILIES[0].instantiate(np.random.default_rng(3))[0]
+    plain = RuntimeMonitor(detector4, n_counters=4).monitor(
+        app, 15, ContainerPool(seed=8), is_malware=False
+    )
+    health = HealthEvaluator(slos=[parse_slo("nondegraded>=0.95")])
+    observed = RuntimeMonitor(detector4, n_counters=4, health=health).monitor(
+        app, 15, ContainerPool(seed=8), is_malware=False
+    )
+    assert plain == observed
+    assert health.window.total_verdicts == 1
+    assert health.window.total_degraded == 0
+    # The classify-latency window saw every classified window.
+    assert health.window._classify_n == 15
+    (slo,) = health.slo_statuses()
+    assert slo["ok"] is True
+
+
+def test_monitor_health_signals_reflect_alarm(detector4):
+    from repro.obs import HealthEvaluator
+
+    health = HealthEvaluator()
+    monitor = RuntimeMonitor(detector4, n_counters=4, health=health)
+    app = MALWARE_FAMILIES[0].instantiate(np.random.default_rng(4))[0]
+    verdict = monitor.monitor(app, 20, ContainerPool(seed=2), is_malware=True)
+    assert health.last_values["detection_rate"] == float(verdict.is_malware)
+    assert health.last_values["verdicts"] == 1.0

@@ -291,3 +291,154 @@ def test_fleet_faults_spec_validated(bad):
     with pytest.raises(SystemExit) as excinfo:
         main(["fleet", *FAST, "--faults", bad])
     assert excinfo.value.code == 2
+
+
+# -- health monitoring and watch ---------------------------------------
+
+
+def test_fleet_health_out_pristine(capsys, tmp_path):
+    import json
+
+    health = tmp_path / "health.json"
+    rc = main([
+        "fleet", *FAST,
+        "--classifier", "OneR", "--ensemble", "general",
+        "--hpcs", "2", "--stride", "6", "--windows", "8",
+        "--fleet-workers", "2",
+        "--health-out", str(health),
+        "--slo", "nondegraded>=0.95",
+    ])
+    assert rc == 0
+    report = json.loads(health.read_text())
+    assert report["schema"] == 1
+    assert report["totals"]["verdicts"] > 0
+    assert report["totals"]["degraded"] == 0
+    assert report["critical_fired"] is False
+    (slo,) = report["slos"]
+    assert slo["ok"] is True
+    assert "0 alert(s) firing" in capsys.readouterr().err
+
+
+def test_fleet_faulted_health_fires_alert(capsys, tmp_path):
+    import json
+
+    health = tmp_path / "health.json"
+    rc = main([
+        "fleet", *FAST,
+        "--classifier", "OneR", "--ensemble", "general",
+        "--hpcs", "2", "--stride", "4", "--windows", "8",
+        "--fleet-workers", "2", "--retries", "2",
+        "--faults", "crash=0.4,glitch=0.3,drop=0.2",
+        "--health-out", str(health),
+        "--alert", "degraded_ratio>=0.05:critical",
+    ])
+    assert rc == 0  # the run itself succeeds; watch is the CI gate
+    err = capsys.readouterr().err
+    assert "FIRING" in err and "degraded_ratio" in err
+    report = json.loads(health.read_text())
+    assert report["critical_fired"] is True
+    (alert,) = report["alerts"]
+    assert alert["fired_count"] >= 1
+
+
+def _faulted_fleet_trace(tmp_path):
+    trace = tmp_path / "fleet.jsonl"
+    metrics = tmp_path / "fleet.json"
+    rc = main([
+        "fleet", *FAST,
+        "--classifier", "OneR", "--ensemble", "general",
+        "--hpcs", "2", "--stride", "4", "--windows", "8",
+        "--fleet-workers", "2", "--retries", "2",
+        "--faults", "crash=0.4,glitch=0.3,drop=0.2",
+        "--trace-out", str(trace), "--metrics-out", str(metrics),
+    ])
+    assert rc == 0
+    return trace, metrics
+
+
+def test_watch_once_exits_nonzero_on_critical(capsys, tmp_path):
+    trace, metrics = _faulted_fleet_trace(tmp_path)
+    rc = main([
+        "watch", "--trace", str(trace), "--metrics", str(metrics),
+        "--alert", "degraded_ratio>=0.05:critical",
+        "--slo", "nondegraded>=0.95",
+        "--once",
+    ])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "Health — window" in out
+    assert "degraded_ratio>=0.05" in out
+    assert "firing" in out
+
+
+def test_watch_once_is_deterministic(capsys, tmp_path):
+    trace, _ = _faulted_fleet_trace(tmp_path)
+    args = [
+        "watch", "--trace", str(trace),
+        "--alert", "degraded_ratio>=0.05:critical:0:0.01",
+        "--once",
+    ]
+    first_out = tmp_path / "h1.json"
+    second_out = tmp_path / "h2.json"
+    assert main([*args, "--health-out", str(first_out)]) == 1
+    assert main([*args, "--health-out", str(second_out)]) == 1
+    capsys.readouterr()
+    assert first_out.read_text() == second_out.read_text()
+
+
+def test_watch_once_pristine_exits_zero(capsys, tmp_path):
+    trace = tmp_path / "trace.jsonl"
+    rc = main([
+        "monitor", *FAST,
+        "--classifier", "OneR", "--ensemble", "general",
+        "--hpcs", "2", "--stride", "6", "--windows", "8",
+        "--trace-out", str(trace),
+    ])
+    assert rc == 0
+    rc = main([
+        "watch", "--trace", str(trace),
+        "--alert", "degraded_ratio>=0.05:critical",
+        "--once",
+    ])
+    assert rc == 0
+    assert "firing" not in capsys.readouterr().out.split("alerts:")[-1]
+
+
+def test_watch_rules_file_and_bad_specs(tmp_path):
+    import json
+
+    rules = tmp_path / "rules.json"
+    rules.write_text(json.dumps({"rules": [
+        {"signal": "degraded_ratio", "op": ">=", "threshold": 0.05,
+         "severity": "critical"},
+    ]}))
+    trace = tmp_path / "empty.jsonl"
+    trace.write_text("")
+    rc = main(["watch", "--trace", str(trace), "--alerts", str(rules), "--once"])
+    assert rc == 0  # no verdicts -> NaN signals -> nothing fires
+    with pytest.raises(SystemExit) as excinfo:
+        main(["watch", "--trace", str(trace), "--alert", "bogus>>1", "--once"])
+    assert excinfo.value.code == 2
+    with pytest.raises(SystemExit) as excinfo:
+        main(["watch", "--trace", str(trace), "--slo", "latency<=1", "--once"])
+    assert excinfo.value.code == 2
+
+
+def test_stats_merges_multiple_metrics_files(capsys, tmp_path):
+    import json
+
+    from repro.obs import Registry
+
+    paths = []
+    for i, n in enumerate((3, 4)):
+        registry = Registry()
+        registry.counter("monitor_apps_total").inc(n)
+        registry.histogram("latency_seconds", buckets=(1.0,)).observe(0.5)
+        path = tmp_path / f"metrics{i}.json"
+        path.write_text(json.dumps(registry.snapshot()))
+        paths.append(str(path))
+    rc = main(["stats", "--metrics", *paths])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "monitor_apps_total" in out
+    assert "7" in out  # 3 + 4 merged exactly

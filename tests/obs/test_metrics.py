@@ -233,3 +233,95 @@ def test_null_instrument_supports_observe_many():
     NULL_INSTRUMENT.observe_many(1.0, 100)  # must not raise
     hist = NULL_REGISTRY.histogram("anything")
     hist.observe_many(1.0, 100)
+
+
+# -- merge_snapshots / snapshot_delta ----------------------------------
+
+
+def _registry_with(counter=0, hist_obs=()):
+    from repro.obs import Registry
+
+    registry = Registry()
+    if counter:
+        registry.counter("jobs_total").inc(counter)
+    hist = registry.histogram("latency", buckets=(1.0, 2.0))
+    for value in hist_obs:
+        hist.observe(value)
+    return registry
+
+
+def test_merge_snapshots_is_exact_histogram_addition():
+    from repro.obs import merge_snapshots
+
+    a = _registry_with(counter=2, hist_obs=(0.5, 1.5))
+    b = _registry_with(counter=3, hist_obs=(0.5, 5.0))
+    merged = merge_snapshots([a.snapshot(), b.snapshot()])
+    assert merged["counters"]["jobs_total"]["value"] == 5
+    hist = merged["histograms"]["latency"]
+    assert hist["count"] == 4
+    assert hist["counts"] == [2, 1, 1]
+    assert hist["sum"] == pytest.approx(7.5)
+
+
+def test_merge_snapshots_empty_iterable_is_empty_snapshot():
+    from repro.obs import merge_snapshots
+
+    merged = merge_snapshots([])
+    assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def test_snapshot_delta_subtracts_counters_and_buckets():
+    from repro.obs import snapshot_delta
+
+    registry = _registry_with(counter=2, hist_obs=(0.5,))
+    old = registry.snapshot()
+    registry.counter("jobs_total").inc(3)
+    registry.histogram("latency", buckets=(1.0, 2.0)).observe(1.5)
+    delta = snapshot_delta(old, registry.snapshot())
+    assert delta["counters"]["jobs_total"]["value"] == 3
+    hist = delta["histograms"]["latency"]
+    assert hist["count"] == 1
+    assert hist["counts"] == [0, 1, 0]
+
+
+def test_snapshot_delta_gauges_take_new_value():
+    from repro.obs import Registry, snapshot_delta
+
+    registry = Registry()
+    gauge = registry.gauge("depth")
+    gauge.set(7)
+    old = registry.snapshot()
+    gauge.set(3)
+    delta = snapshot_delta(old, registry.snapshot())
+    assert delta["gauges"]["depth"]["value"] == 3
+
+
+def test_snapshot_delta_clamps_producer_restart_to_zero():
+    from repro.obs import snapshot_delta
+
+    old = _registry_with(counter=10, hist_obs=(0.5, 0.5)).snapshot()
+    new = _registry_with(counter=4, hist_obs=(0.5,)).snapshot()  # restarted
+    delta = snapshot_delta(old, new)
+    assert delta["counters"]["jobs_total"]["value"] == 0
+    assert delta["histograms"]["latency"]["counts"] == [0, 0, 0]
+
+
+def test_snapshot_delta_new_instruments_pass_through():
+    from repro.obs import Registry, snapshot_delta
+
+    old = Registry().snapshot()
+    new = _registry_with(counter=2, hist_obs=(0.5,)).snapshot()
+    delta = snapshot_delta(old, new)
+    assert delta["counters"]["jobs_total"]["value"] == 2
+    assert delta["histograms"]["latency"]["counts"] == [1, 0, 0]
+
+
+def test_snapshot_delta_bucket_mismatch_copies_new_histogram():
+    from repro.obs import Registry, snapshot_delta
+
+    a = Registry()
+    a.histogram("latency", buckets=(1.0,)).observe(0.5)
+    b = Registry()
+    b.histogram("latency", buckets=(1.0, 2.0)).observe(1.5)
+    delta = snapshot_delta(a.snapshot(), b.snapshot())
+    assert delta["histograms"]["latency"]["counts"] == [0, 1, 0]

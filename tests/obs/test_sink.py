@@ -1,0 +1,77 @@
+"""MatrixProgressSink: stderr rendering and matrix.cell trace events."""
+
+import io
+
+from repro.analysis.matrix import MatrixTiming
+from repro.obs import MatrixProgressSink, Registry, Tracer
+
+
+def _timing(name="4HPC-Boosted-JRip", cached=False, fit=1.25, evals=0.5):
+    return MatrixTiming(
+        name=name, kind="eval", fit_seconds=fit, eval_seconds=evals, cached=cached
+    )
+
+
+def test_sink_renders_computed_cell_line():
+    stream = io.StringIO()
+    sink = MatrixProgressSink(total=96, stream=stream)
+    sink(_timing())
+    line = stream.getvalue()
+    assert line == "[  1/96] 4HPC-Boosted-JRip          fit 1.25s eval 0.50s\n"
+
+
+def test_sink_renders_cache_hits_distinctly():
+    stream = io.StringIO()
+    sink = MatrixProgressSink(total=8, stream=stream)
+    sink(_timing(cached=True, fit=0.0, evals=0.0))
+    assert stream.getvalue().rstrip().endswith("cache")
+    assert "fit" not in stream.getvalue()
+
+
+def test_sink_counts_progress_across_cells():
+    stream = io.StringIO()
+    registry = Registry()
+    sink = MatrixProgressSink(total=3, metrics=registry, stream=stream)
+    for i in range(3):
+        sink(_timing(name=f"cfg{i}"))
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 3
+    assert lines[0].startswith("[  1/3]")
+    assert lines[2].startswith("[  3/3]")
+    assert sink.done == 3
+    snap = registry.snapshot()
+    assert snap["counters"]["progress_lines_total"]["value"] == 3
+
+
+def test_sink_emits_matrix_cell_trace_events():
+    tracer = Tracer()
+    sink = MatrixProgressSink(total=2, tracer=tracer)
+    sink(_timing())
+    sink(_timing(name="2HPC-Bagged-OneR", cached=True, fit=0.0, evals=0.0))
+    events = [e for e in tracer.events if e["name"] == "matrix.cell"]
+    assert len(events) == 2
+    first, second = (e["attrs"] for e in events)
+    assert first["config"] == "4HPC-Boosted-JRip"
+    assert first["kind"] == "eval"
+    assert first["cached"] is False
+    assert first["fit_seconds"] == 1.25
+    assert first["index"] == 1 and first["total"] == 2
+    assert second["cached"] is True
+    assert second["index"] == 2
+
+
+def test_sink_silent_without_stream_still_traces():
+    tracer = Tracer()
+    registry = Registry()
+    sink = MatrixProgressSink(total=1, tracer=tracer, metrics=registry)
+    sink(_timing())
+    assert len(tracer.events) == 1
+    # No stream -> no progress line counted.
+    snap = registry.snapshot()
+    assert snap["counters"]["progress_lines_total"]["value"] == 0
+
+
+def test_sink_defaults_are_null_objects():
+    sink = MatrixProgressSink(total=5)
+    sink(_timing())  # must not raise or print
+    assert sink.done == 1

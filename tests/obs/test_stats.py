@@ -106,3 +106,52 @@ def test_progress_sink_counts_lines(capsys):
     sink(_FakeTiming())
     capsys.readouterr()
     assert registry.snapshot()["counters"]["progress_lines_total"]["value"] == 2.0
+
+
+# -- histogram_quantile hardening --------------------------------------
+
+
+def test_histogram_quantile_empty_histogram_is_nan():
+    import math
+
+    from repro.obs import histogram_quantile
+
+    empty = {"count": 0, "buckets": (1.0, 2.0), "counts": [0, 0, 0]}
+    assert math.isnan(histogram_quantile(empty, 0.5))
+    assert math.isnan(histogram_quantile({}, 0.5))
+
+
+def test_histogram_quantile_all_overflow_is_inf():
+    from repro.obs import histogram_quantile
+
+    data = {"count": 5, "buckets": (1.0, 2.0), "counts": [0, 0, 5]}
+    assert histogram_quantile(data, 0.5) == float("inf")
+    assert histogram_quantile(data, 0.99) == float("inf")
+
+
+def test_histogram_quantile_nonsense_q_is_nan():
+    import math
+
+    from repro.obs import histogram_quantile
+
+    data = {"count": 4, "buckets": (1.0, 2.0), "counts": [4, 0, 0]}
+    assert math.isnan(histogram_quantile(data, -0.1))
+    assert math.isnan(histogram_quantile(data, 1.5))
+    assert math.isnan(histogram_quantile(data, float("nan")))
+
+
+def test_histogram_quantile_skips_empty_buckets():
+    from repro.obs import histogram_quantile
+
+    # q=0 must land on the first *populated* bucket, not bucket 0.
+    data = {"count": 3, "buckets": (1.0, 2.0, 4.0), "counts": [0, 3, 0, 0]}
+    assert histogram_quantile(data, 0.0) == 2.0
+    assert histogram_quantile(data, 1.0) == 2.0
+
+
+def test_metrics_table_is_nan_safe_for_empty_histograms():
+    registry = Registry()
+    registry.histogram("latency_seconds", buckets=(1.0,))  # never observed
+    table = metrics_table(registry.snapshot())
+    assert "latency_seconds" in table
+    assert "nan" not in table.lower()

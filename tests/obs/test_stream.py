@@ -1,0 +1,156 @@
+"""Streaming followers: incremental tailing, rotation, metric deltas."""
+
+import json
+
+from repro.obs import MetricsFollower, Registry, TraceFollower
+
+
+def _append(path, text):
+    with open(path, "a") as handle:
+        handle.write(text)
+
+
+# -- TraceFollower -----------------------------------------------------
+
+
+def test_trace_follower_missing_file_returns_nothing(tmp_path):
+    follower = TraceFollower(tmp_path / "never.jsonl")
+    assert follower.poll() == []
+    assert follower.poll(flush=True) == []
+
+
+def test_trace_follower_reads_incrementally(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    follower = TraceFollower(path)
+    _append(path, '{"name": "a"}\n{"name": "b"}\n')
+    assert [e["name"] for e in follower.poll()] == ["a", "b"]
+    assert follower.poll() == []  # nothing new
+    _append(path, '{"name": "c"}\n')
+    assert [e["name"] for e in follower.poll()] == ["c"]
+
+
+def test_trace_follower_buffers_partial_tail(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    follower = TraceFollower(path)
+    _append(path, '{"name": "a"}\n{"name": "b"')  # mid-write tail
+    assert [e["name"] for e in follower.poll()] == ["a"]
+    _append(path, ', "x": 1}\n')  # producer finishes the line
+    (event,) = follower.poll()
+    assert event == {"name": "b", "x": 1}
+
+
+def test_trace_follower_flush_parses_unterminated_tail(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    follower = TraceFollower(path)
+    _append(path, '{"name": "a"}\n{"name": "tail"}')  # no final newline
+    assert [e["name"] for e in follower.poll(flush=True)] == ["a", "tail"]
+    # A flushed tail is consumed, not re-delivered.
+    assert follower.poll(flush=True) == []
+
+
+def test_trace_follower_skips_garbage_lines(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    follower = TraceFollower(path)
+    _append(path, '{"name": "a"}\nnot json\n[1, 2]\n\n{"name": "b"}\n')
+    assert [e["name"] for e in follower.poll()] == ["a", "b"]
+
+
+def test_trace_follower_crash_truncated_tail_is_dropped(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    follower = TraceFollower(path)
+    _append(path, '{"name": "a"}\n{"name": "cras')  # producer died here
+    assert [e["name"] for e in follower.poll(flush=True)] == ["a"]
+
+
+def test_trace_follower_handles_rotation(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    follower = TraceFollower(path)
+    _append(path, '{"name": "old1"}\n{"name": "old2"}\n')
+    assert len(follower.poll()) == 2
+    # Rotate: the old file moves away, a new one appears at the path.
+    path.rename(tmp_path / "trace.jsonl.1")
+    _append(path, '{"name": "new"}\n')
+    assert [e["name"] for e in follower.poll()] == ["new"]
+
+
+def test_trace_follower_handles_in_place_truncation(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    follower = TraceFollower(path)
+    _append(path, '{"name": "a"}\n{"name": "b"}\n')
+    follower.poll()
+    path.write_text('{"name": "fresh"}\n')  # same inode, shrunk
+    assert [e["name"] for e in follower.poll()] == ["fresh"]
+
+
+# -- MetricsFollower ---------------------------------------------------
+
+
+def _dump_registry(path, registry):
+    path.write_text(json.dumps(registry.snapshot()))
+
+
+def test_metrics_follower_missing_then_first_snapshot(tmp_path):
+    path = tmp_path / "metrics.json"
+    follower = MetricsFollower(path)
+    assert follower.poll() is None
+    registry = Registry()
+    registry.counter("jobs_total").inc(3)
+    _dump_registry(path, registry)
+    delta = follower.poll()
+    assert delta["counters"]["jobs_total"]["value"] == 3
+    assert follower.latest == delta  # first poll returns the full snapshot
+
+
+def test_metrics_follower_reports_deltas_not_cumulative(tmp_path):
+    path = tmp_path / "metrics.json"
+    follower = MetricsFollower(path)
+    registry = Registry()
+    counter = registry.counter("jobs_total")
+    hist = registry.histogram("latency", buckets=(1.0, 2.0))
+    counter.inc(3)
+    hist.observe(0.5)
+    _dump_registry(path, registry)
+    follower.poll()
+    counter.inc(2)
+    hist.observe(0.5)
+    hist.observe(1.5)
+    _dump_registry(path, registry)
+    delta = follower.poll()
+    assert delta["counters"]["jobs_total"]["value"] == 2
+    assert delta["histograms"]["latency"]["counts"] == [1, 1, 0]
+    # Cumulative state is still available on .latest.
+    assert follower.latest["counters"]["jobs_total"]["value"] == 5
+
+
+def test_metrics_follower_unchanged_file_is_none(tmp_path):
+    path = tmp_path / "metrics.json"
+    registry = Registry()
+    registry.counter("jobs_total").inc()
+    _dump_registry(path, registry)
+    follower = MetricsFollower(path)
+    assert follower.poll() is not None
+    assert follower.poll() is None
+
+
+def test_metrics_follower_skips_half_written_snapshot(tmp_path):
+    path = tmp_path / "metrics.json"
+    registry = Registry()
+    registry.counter("jobs_total").inc()
+    _dump_registry(path, registry)
+    follower = MetricsFollower(path)
+    follower.poll()
+    good = follower.latest
+    path.write_text('{"counters": {"jobs_tot')  # producer mid-dump
+    assert follower.poll() is None
+    assert follower.latest == good  # last good snapshot survives
+    registry.counter("jobs_total").inc()
+    _dump_registry(path, registry)
+    assert follower.poll()["counters"]["jobs_total"]["value"] == 1
+
+
+def test_metrics_follower_rejects_non_object_json(tmp_path):
+    path = tmp_path / "metrics.json"
+    path.write_text("[1, 2, 3]")
+    follower = MetricsFollower(path)
+    assert follower.poll() is None
+    assert follower.latest is None
