@@ -25,6 +25,13 @@ pool — so with ``faults=None`` the fleet's verdicts are bit-identical
 :meth:`RuntimeMonitor.monitor` output regardless of worker count or
 scheduling, and with a seeded :class:`~repro.hpc.faults.FaultPlan` the
 whole degraded run replays exactly.
+
+Per-application classification goes through
+:func:`~repro.core.runtime.classify_trace`, i.e. each execution's
+windows (and each retry's salvaged windows) hit the detector as one
+batch through the vectorized inference kernels — the fleet's
+windows/second ceiling is the per-detector rate pinned by
+``benchmarks/bench_inference.py`` times the worker count.
 """
 
 from __future__ import annotations

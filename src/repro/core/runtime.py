@@ -82,6 +82,12 @@ def classify_trace(
     Returns:
         Per-window 0/1 flags.  An empty trace classifies to an empty
         flag array without touching the registers.
+
+    The whole trace goes through the classifier as one batch, so this
+    hot path runs at the vectorized inference-kernel rates pinned by
+    ``benchmarks/bench_inference.py`` (flat-array tree descent, compiled
+    rule lists, stacked ensemble members) — never a per-window Python
+    loop.
     """
     if trace.shape[0] == 0:
         return np.zeros(0, dtype=np.intp)

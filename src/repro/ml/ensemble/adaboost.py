@@ -111,10 +111,21 @@ class AdaBoostM1(Classifier):
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         self._require_fitted()
         features = check_features(features)
-        votes = np.zeros((features.shape[0], 2))
-        for model, alpha in zip(self.estimators_, self.estimator_weights_):
-            predictions = model.predict(features)
-            votes[np.arange(len(predictions)), predictions] += alpha
+        if not self.estimators_:
+            return np.zeros((features.shape[0], 2))
+        # each member classifies the whole batch through its vectorized
+        # kernel; the stacked (n_members, n) prediction matrix is then
+        # reduced to weighted votes in one pass (outer-axis reduction is
+        # sequential in member order, bit-identical to the old loop)
+        stacked = np.stack([m.predict(features) for m in self.estimators_])
+        alphas = np.asarray(self.estimator_weights_)[:, None]
+        votes = np.stack(
+            [
+                (alphas * (stacked == 0)).sum(axis=0),
+                (alphas * (stacked == 1)).sum(axis=0),
+            ],
+            axis=1,
+        )
         total = votes.sum(axis=1, keepdims=True)
         return votes / np.where(total > 0, total, 1.0)
 

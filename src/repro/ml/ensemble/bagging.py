@@ -101,10 +101,11 @@ class Bagging(Classifier):
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         self._require_fitted()
         features = check_features(features)
-        total = np.zeros((features.shape[0], 2))
-        for model in self.estimators_:
-            total += model.predict_proba(features)
-        return total / len(self.estimators_)
+        # stack the members' batch probabilities and average along the
+        # member axis (outer-axis reduction is sequential in member
+        # order, bit-identical to the old accumulation loop)
+        stacked = np.stack([m.predict_proba(features) for m in self.estimators_])
+        return stacked.sum(axis=0) / len(self.estimators_)
 
     @property
     def n_models(self) -> int:

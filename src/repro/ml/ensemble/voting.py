@@ -92,8 +92,12 @@ class VotingEnsemble(Classifier):
             n_holdout = max(int(len(labels) * self.holdout_fraction), 2)
             holdout, fit_rows = order[:n_holdout], order[n_holdout:]
             if len(np.unique(labels[fit_rows])) < 2:
-                fit_rows = order  # degenerate holdout: train on everything
-                holdout = order
+                # degenerate holdout: train on everything and fall back
+                # to the configured (or uniform) weights — weighting by
+                # accuracy on rows the members trained on would reward
+                # overfitting, not merit
+                fit_rows = order
+                holdout = None
         else:
             fit_rows = np.arange(len(labels))
             holdout = None
@@ -128,13 +132,27 @@ class VotingEnsemble(Classifier):
         self._require_fitted()
         features = check_features(features)
         assert self.fitted_weights_ is not None
-        total = np.zeros((features.shape[0], 2))
-        for weight, model in zip(self.fitted_weights_, self.fitted_members_):
-            if self.voting == "soft":
-                total += weight * model.predict_proba(features)
-            else:
-                predictions = model.predict(features)
-                total[np.arange(len(predictions)), predictions] += weight
+        # every member sees the whole batch once; the stacked member
+        # axis is reduced in one weighted pass (outer-axis reduction is
+        # sequential in member order, bit-identical to the old loop)
+        weights = self.fitted_weights_
+        if self.voting == "soft":
+            stacked = np.stack(
+                [m.predict_proba(features) for m in self.fitted_members_]
+            )
+            total = (weights[:, None, None] * stacked).sum(axis=0)
+        else:
+            stacked = np.stack(
+                [m.predict(features) for m in self.fitted_members_]
+            )
+            w = weights[:, None]
+            total = np.stack(
+                [
+                    (w * (stacked == 0)).sum(axis=0),
+                    (w * (stacked == 1)).sum(axis=0),
+                ],
+                axis=1,
+            )
         sums = total.sum(axis=1, keepdims=True)
         return total / np.where(sums > 0, sums, 1.0)
 

@@ -14,7 +14,7 @@ import math
 import numpy as np
 
 from repro.ml.base import Classifier, check_features, check_training_set, proba_from_counts
-from repro.ml.tree import TreeNode, grow_tree, leaf_counts_matrix
+from repro.ml.tree import FlatTree, TreeNode, grow_tree
 
 
 def _z_from_confidence(confidence: float) -> float:
@@ -96,6 +96,7 @@ class J48(Classifier):
             "unpruned": unpruned,
         }
         self.root_: TreeNode | None = None
+        self._flat: FlatTree | None = None
         self._z = _z_from_confidence(confidence)
 
     # ------------------------------------------------------------------
@@ -133,14 +134,16 @@ class J48(Classifier):
         )
         if not self.unpruned:
             self._prune(self.root_)
+        # flatten the pruned tree once; prediction descends the arrays
+        self._flat = FlatTree(self.root_)
         self.fitted_ = True
         return self
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         self._require_fitted()
         features = check_features(features)
-        assert self.root_ is not None
-        return proba_from_counts(leaf_counts_matrix(self.root_, features))
+        assert self._flat is not None
+        return proba_from_counts(self._flat.leaf_counts(features))
 
     # -- structure, for the hardware model and reports ------------------
     @property

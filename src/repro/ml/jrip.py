@@ -75,6 +75,57 @@ def _foil_gain(p0: float, n0: float, p1: np.ndarray, n1: np.ndarray) -> np.ndarr
     return p1 * (after - before)
 
 
+class CompiledRuleList:
+    """Array form of an ordered rule list for batch application.
+
+    All conditions of all rules are stacked into parallel arrays so one
+    comparison evaluates every condition on every row at once; per-rule
+    conjunction is a segmented ``logical_and.reduceat`` and first-match
+    assignment an ``argmax`` over the rule-hit matrix.  Because ``>`` is
+    exactly ``not <=`` on finite floats (and the feature checks reject
+    NaN), this is bit-identical to applying :meth:`Rule.covers` rule by
+    rule — the retained scalar reference the differential tests use.
+    """
+
+    __slots__ = ("attributes", "thresholds", "negate", "offsets", "rule_counts")
+
+    def __init__(self, rules: list[Rule]) -> None:
+        conditions = [c for rule in rules for c in rule.conditions]
+        self.attributes = np.array(
+            [c.attribute for c in conditions], dtype=np.intp
+        )
+        self.thresholds = np.array([c.threshold for c in conditions])
+        self.negate = np.array([c.op == ">" for c in conditions])
+        lengths = [len(rule.conditions) for rule in rules]
+        if any(length == 0 for length in lengths):
+            raise ValueError("cannot compile an unconditional rule")
+        self.offsets = np.concatenate([[0], np.cumsum(lengths)[:-1]]).astype(np.intp)
+        self.rule_counts = (
+            np.vstack([rule.class_counts for rule in rules])
+            if rules
+            else np.zeros((0, 2))
+        )
+
+    @property
+    def n_rules(self) -> int:
+        return self.rule_counts.shape[0]
+
+    def apply(self, features: np.ndarray, default_counts: np.ndarray) -> np.ndarray:
+        """Class counts of the first matching rule per row (default when
+        no rule fires), shape ``(n, 2)``."""
+        counts = np.tile(default_counts, (features.shape[0], 1))
+        if self.n_rules == 0 or features.shape[0] == 0:
+            return counts
+        satisfied = (
+            features[:, self.attributes] <= self.thresholds
+        ) ^ self.negate
+        hits = np.logical_and.reduceat(satisfied, self.offsets, axis=1)
+        fired = hits.any(axis=1)
+        first = np.argmax(hits, axis=1)
+        counts[fired] = self.rule_counts[first[fired]]
+        return counts
+
+
 class JRip(Classifier):
     """RIPPER (IREP*) ordered rule-list classifier.
 
@@ -110,6 +161,7 @@ class JRip(Classifier):
         self.rules_: list[Rule] = []
         self.positive_class_: int = 1
         self.default_counts_: np.ndarray | None = None
+        self._compiled: CompiledRuleList | None = None
 
     # ------------------------------------------------------------------
     def _candidate_conditions(
@@ -239,12 +291,16 @@ class JRip(Classifier):
         if default.sum() <= 0:
             default = np.array(mass, dtype=float)
         self.default_counts_ = default
+        self._compiled = CompiledRuleList(self.rules_)
         self.fitted_ = True
         return self
 
-    def predict_proba(self, features: np.ndarray) -> np.ndarray:
-        self._require_fitted()
-        features = check_features(features)
+    def _counts_scalar(self, features: np.ndarray) -> np.ndarray:
+        """Scalar reference: first-match counts via per-rule mask loops.
+
+        Retained (pre-vectorization prediction path) for differential
+        tests and the before/after inference benchmark.
+        """
         assert self.default_counts_ is not None
         counts = np.tile(self.default_counts_, (features.shape[0], 1))
         unassigned = np.ones(features.shape[0], dtype=bool)
@@ -252,6 +308,15 @@ class JRip(Classifier):
             hit = rule.covers(features) & unassigned
             counts[hit] = rule.class_counts
             unassigned &= ~hit
+        return counts
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        features = check_features(features)
+        assert self.default_counts_ is not None
+        if self._compiled is None:
+            self._compiled = CompiledRuleList(self.rules_)
+        counts = self._compiled.apply(features, self.default_counts_)
         smoothed = counts + 1.0
         return smoothed / smoothed.sum(axis=1, keepdims=True)
 

@@ -63,7 +63,14 @@ class OneR(Classifier):
                 j += 1
             majority_mass = current.max()
             if majority_mass >= self.min_bucket_size and j < n:
-                cuts.append((v[j - 1] + v[j]) / 2.0)
+                # the left bucket owns value <= cut; when the midpoint of
+                # two adjacent floats rounds up onto the right value, fall
+                # back to the left value so neither training value crosses
+                # the boundary it was counted on
+                cut = (v[j - 1] + v[j]) / 2.0
+                if cut >= v[j]:
+                    cut = v[j - 1]
+                cuts.append(cut)
                 counts.append(current)
                 current = np.zeros(2)
             i = j
@@ -111,7 +118,10 @@ class OneR(Classifier):
         features = check_features(features)
         assert self.attribute_ is not None
         assert self.cut_points_ is not None and self.bucket_counts_ is not None
-        buckets = np.searchsorted(self.cut_points_, features[:, self.attribute_], side="right")
+        # side="left" keeps the fit-time boundary semantics: bucket k owns
+        # cut[k-1] < value <= cut[k], so a value exactly on a cut lands in
+        # the bucket whose training mass it contributed to
+        buckets = np.searchsorted(self.cut_points_, features[:, self.attribute_], side="left")
         return proba_from_counts(self.bucket_counts_[buckets])
 
     @property

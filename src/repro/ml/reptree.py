@@ -12,7 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.base import Classifier, check_features, check_training_set, proba_from_counts
-from repro.ml.tree import TreeNode, grow_tree, leaf_counts_matrix, route
+from repro.ml.tree import FlatTree, TreeNode, grow_tree, route
 
 
 class REPTree(Classifier):
@@ -55,12 +55,19 @@ class REPTree(Classifier):
             "seed": seed,
         }
         self.root_: TreeNode | None = None
+        self._flat: FlatTree | None = None
 
     # ------------------------------------------------------------------
-    def _accumulate_prune_counts(
-        self, node: TreeNode, features: np.ndarray, labels: np.ndarray, weights: np.ndarray
+    @staticmethod
+    def _accumulate_prune_counts_scalar(
+        node: TreeNode, features: np.ndarray, labels: np.ndarray, weights: np.ndarray
     ) -> None:
-        """Record held-out class mass at every node along each row's path."""
+        """Scalar reference for the held-out path accumulation.
+
+        Retained for differential tests and the before/after inference
+        benchmark; :meth:`fit` uses the batch
+        :meth:`~repro.ml.tree.FlatTree.path_class_mass` kernel.
+        """
         for i in range(features.shape[0]):
             current = node
             while True:
@@ -74,6 +81,15 @@ class REPTree(Classifier):
                     if features[i, current.attribute] <= current.threshold
                     else current.right
                 )
+
+    def _accumulate_prune_counts(
+        self, node: TreeNode, features: np.ndarray, labels: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """Record held-out class mass at every node along each row's path."""
+        flat = FlatTree(node)
+        mass = flat.path_class_mass(features, labels, weights)
+        for i, tree_node in enumerate(flat.nodes):
+            tree_node.prune_counts += mass[i]
 
     def _subtree_heldout_errors(self, node: TreeNode) -> float:
         if node.is_leaf:
@@ -106,6 +122,7 @@ class REPTree(Classifier):
                 use_gain_ratio=False,
                 max_depth=self.max_depth,
             )
+            self._flat = FlatTree(self.root_)
             self.fitted_ = True
             return self
         order = rng.permutation(len(labels))
@@ -121,14 +138,16 @@ class REPTree(Classifier):
             self.root_, features[prune_idx], labels[prune_idx], weights[prune_idx]
         )
         self._reduced_error_prune(self.root_)
+        # pruning rewired the tree in place; flatten the final shape once
+        self._flat = FlatTree(self.root_)
         self.fitted_ = True
         return self
 
     def predict_proba(self, features: np.ndarray) -> np.ndarray:
         self._require_fitted()
         features = check_features(features)
-        assert self.root_ is not None
-        return proba_from_counts(leaf_counts_matrix(self.root_, features))
+        assert self._flat is not None
+        return proba_from_counts(self._flat.leaf_counts(features))
 
     def predict_leaf(self, row: np.ndarray) -> TreeNode:
         """Leaf node a single feature row routes to (for introspection)."""

@@ -207,7 +207,12 @@ def grow_tree(
 
 
 def route(node: TreeNode, row: np.ndarray) -> TreeNode:
-    """Follow a feature row from ``node`` down to its leaf."""
+    """Follow a feature row from ``node`` down to its leaf.
+
+    This is the scalar reference for the vectorized :class:`FlatTree`
+    kernels: one row, one Python descent.  The batch paths below are
+    differential-tested against it and must stay bit-identical.
+    """
     while not node.is_leaf:
         assert node.attribute is not None and node.threshold is not None
         assert node.left is not None and node.right is not None
@@ -215,9 +220,118 @@ def route(node: TreeNode, row: np.ndarray) -> TreeNode:
     return node
 
 
-def leaf_counts_matrix(node: TreeNode, features: np.ndarray) -> np.ndarray:
-    """Class counts of the leaf each row lands in, shape ``(n, 2)``."""
+def leaf_counts_matrix_scalar(node: TreeNode, features: np.ndarray) -> np.ndarray:
+    """Per-row leaf class counts via the scalar :func:`route` reference.
+
+    Retained (pre-vectorization hot path) for differential tests and the
+    before/after inference benchmark; production prediction goes through
+    :class:`FlatTree`.
+    """
     out = np.zeros((features.shape[0], 2))
     for i in range(features.shape[0]):
         out[i] = route(node, features[i]).counts
     return out
+
+
+class FlatTree:
+    """Array form of a fitted :class:`TreeNode` tree for batch inference.
+
+    The pointer tree is flattened (preorder) into parallel arrays —
+    split attribute (-1 at leaves), threshold, left/right child index,
+    and leaf class counts — so a whole feature matrix descends at once:
+    every iteration of :meth:`descend` advances *all* rows still at an
+    internal node by one level with masked gathers, instead of walking
+    one Python node per row per level.  Comparisons are the same
+    ``row[attribute] <= threshold`` the scalar :func:`route` performs,
+    so leaf assignment is bit-identical.
+    """
+
+    __slots__ = ("attribute", "threshold", "left", "right", "counts", "nodes")
+
+    def __init__(self, root: TreeNode) -> None:
+        nodes: list[TreeNode] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            nodes.append(node)
+            if not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                stack.append(node.right)
+                stack.append(node.left)
+        index = {id(node): i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        self.nodes = tuple(nodes)
+        self.attribute = np.full(n, -1, dtype=np.intp)
+        self.threshold = np.full(n, np.nan)
+        self.left = np.full(n, -1, dtype=np.intp)
+        self.right = np.full(n, -1, dtype=np.intp)
+        self.counts = np.empty((n, 2))
+        for i, node in enumerate(nodes):
+            self.counts[i] = node.counts
+            if not node.is_leaf:
+                assert node.attribute is not None and node.threshold is not None
+                self.attribute[i] = node.attribute
+                self.threshold[i] = node.threshold
+                self.left[i] = index[id(node.left)]
+                self.right[i] = index[id(node.right)]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.nodes)
+
+    def descend(self, features: np.ndarray) -> np.ndarray:
+        """Flat index of the leaf each row lands in, shape ``(n,)``."""
+        n, n_cols = features.shape
+        flat = np.ascontiguousarray(features).reshape(-1)
+        cur = np.zeros(n, dtype=np.intp)
+        if self.attribute[0] < 0:  # root is a leaf
+            return cur
+        active = np.arange(n)
+        while active.size:
+            node = cur[active]
+            attr = self.attribute[node]
+            values = flat.take(active * n_cols + attr)
+            go_left = values <= self.threshold[node]
+            nxt = np.where(go_left, self.left[node], self.right[node])
+            cur[active] = nxt
+            active = active[self.attribute[nxt] >= 0]
+        return cur
+
+    def leaf_counts(self, features: np.ndarray) -> np.ndarray:
+        """Class counts of the leaf each row lands in, shape ``(n, 2)``."""
+        return self.counts[self.descend(features)]
+
+    def path_class_mass(
+        self, features: np.ndarray, labels: np.ndarray, weights: np.ndarray
+    ) -> np.ndarray:
+        """Weighted class mass deposited at every node along each row's
+        root-to-leaf path, shape ``(n_nodes, 2)``.
+
+        This is the batch form of REPTree's held-out prune-count
+        accumulation.  ``np.add.at`` applies duplicate indices in row
+        order — the same order the scalar per-row loop adds them — so
+        the accumulated floats are bit-identical.
+        """
+        acc = np.zeros((self.n_nodes, 2))
+        cur = np.zeros(features.shape[0], dtype=np.intp)
+        active = np.arange(features.shape[0])
+        while active.size:
+            node = cur[active]
+            np.add.at(acc, (node, labels[active]), weights[active])
+            internal = self.attribute[node] >= 0
+            active = active[internal]
+            node = cur[active]
+            go_left = (
+                features[active, self.attribute[node]] <= self.threshold[node]
+            )
+            cur[active] = np.where(go_left, self.left[node], self.right[node])
+        return acc
+
+
+def leaf_counts_matrix(node: TreeNode, features: np.ndarray) -> np.ndarray:
+    """Class counts of the leaf each row lands in, shape ``(n, 2)``.
+
+    Convenience wrapper that flattens on the fly; fitted classifiers
+    cache their :class:`FlatTree` instead of re-flattening per call.
+    """
+    return FlatTree(node).leaf_counts(features)

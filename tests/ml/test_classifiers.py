@@ -308,3 +308,44 @@ def test_smo_support_vectors_subset(blobs):
     features, labels = blobs
     model = SMO().fit(features[:200], labels[:200])
     assert 0 < model.n_support_vectors <= 200
+
+
+def test_oner_value_on_cut_point_stays_in_its_training_bucket():
+    """Regression: a value exactly equal to a cut point must land in the
+    bucket ``fit`` counted it in.  When two adjacent float runs midpoint
+    to the *left* run's value, ``side="right"`` bucketing sent that
+    training value into the right bucket at predict time.
+    """
+    a, b = 1.0, np.nextafter(1.0, 2.0)
+    assert (a + b) / 2.0 == a  # the midpoint collides with the left value
+    values = np.array([[a]] * 3 + [[b]] * 3)
+    labels = np.array([0] * 3 + [1] * 3)
+    model = OneR(min_bucket_size=2).fit(values, labels)
+    assert model.predict([[a]]) == [0]
+    assert model.predict([[b]]) == [1]
+
+
+def test_oner_cut_never_rounds_onto_right_bucket_value():
+    """The mirror collision: when the midpoint rounds up onto the *right*
+    run's value, the cut falls back to the left value so both training
+    values keep their buckets under value<=cut semantics."""
+    a, b = np.nextafter(1.0, 0.0), 1.0
+    assert (a + b) / 2.0 == b  # the midpoint collides with the right value
+    values = np.array([[a]] * 3 + [[b]] * 3)
+    labels = np.array([0] * 3 + [1] * 3)
+    model = OneR(min_bucket_size=2).fit(values, labels)
+    assert model.cut_points_[0] == a
+    assert model.predict([[a]]) == [0]
+    assert model.predict([[b]]) == [1]
+
+
+def test_oner_boundary_convention_is_leq_left():
+    """A query exactly on a (non-colliding) cut belongs to the left
+    bucket: the framework-wide convention is ``value <= threshold`` goes
+    left, as in the decision trees."""
+    values = np.array([[0.0]] * 6 + [[1.0]] * 6)
+    labels = np.array([0] * 6 + [1] * 6)
+    model = OneR().fit(values, labels)
+    np.testing.assert_array_equal(model.cut_points_, [0.5])
+    assert model.predict([[0.5]]) == [0]
+    assert model.predict([[0.5 + 1e-9]]) == [1]

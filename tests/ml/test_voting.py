@@ -88,3 +88,24 @@ def test_probabilities_valid(blobs):
     proba = model.predict_proba(xte)
     np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
     assert np.all(proba >= 0)
+
+
+def test_degenerate_holdout_falls_back_to_uniform_weights():
+    """Regression: when the post-holdout training rows are single-class,
+    fit used to evaluate member weights on the *training* data itself,
+    rewarding whichever member overfits hardest.  The degenerate case
+    must fall back to uniform weights instead.
+    """
+    seed, n = 0, 20
+    order = np.random.default_rng(seed).permutation(n)
+    rng = np.random.default_rng(42)
+    features = rng.normal(size=(n, 3))
+    labels = np.zeros(n, dtype=np.intp)
+    labels[order[:2]] = 1  # all positives land in the holdout slice
+    model = VotingEnsemble(
+        members=[REPTree(no_pruning=True, min_instances=1), OneR()],
+        holdout_fraction=0.1,
+        seed=seed,
+    ).fit(features, labels)
+    assert len(np.unique(labels[order[2:]])) == 1  # the branch really fired
+    np.testing.assert_array_equal(model.member_weights, [0.5, 0.5])
