@@ -1,0 +1,159 @@
+"""Streaming service throughput: windows/s across producer × worker
+geometries, with and without injected worker crashes.
+
+Three questions gate ``repro-hmd serve`` as a run-time deployment shape:
+
+1. Sustained throughput — windows/s through the full produce → publish
+   → assemble → classify pipeline, per geometry.
+2. Correctness tax of concurrency — verdicts must stay bit-identical to
+   a serial :class:`~repro.core.runtime.RuntimeMonitor` sweep at every
+   geometry (no faults), so the speedup is free of semantic drift.
+3. Chaos tax — with seeded worker crashes injected, every closed window
+   must still emit exactly one verdict (bit-identical again), and the
+   bench reports how much throughput the crash/recover cycle costs.
+
+``REPRO_BENCH_QUICK=1`` shrinks the geometry sweep and the job count
+for CI smoke runs.  Results land in ``BENCH_service.json`` (cwd, or
+``$REPRO_BENCH_DIR``) so CI can track the trajectory across PRs.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import HMDDetector
+from repro.core.runtime import RuntimeMonitor
+from repro.hpc.faults import ServiceFaultPlan
+from repro.hpc.lxc import ContainerPool
+from repro.serve import DetectionService, ServeJob
+from repro.workloads.benign import BENIGN_FAMILIES
+from repro.workloads.dataset import MALWARE
+from repro.workloads.malware import MALWARE_FAMILIES
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+GEOMETRIES = ((1, 1), (2, 1)) if QUICK else ((1, 1), (2, 2), (4, 2))
+N_WINDOWS = 10 if QUICK else 20
+ROUNDS = 2 if QUICK else 4
+QUEUE_DEPTH = 16
+POOL_SEED = 2025
+# Rate 1.0 makes the chaos column deterministic: every worker's first
+# max_crashes_per_worker incarnations crash, then drain cleanly.
+CHAOS = ServiceFaultPlan(seed=11, worker_crash_rate=1.0, max_crashes_per_worker=3)
+
+
+def _jobs():
+    rng = np.random.default_rng(47)
+    hosts = [
+        (family.instantiate(rng)[0], family.label == MALWARE)
+        for family in BENIGN_FAMILIES + MALWARE_FAMILIES
+    ]
+    return [
+        ServeJob(app, N_WINDOWS, truth)
+        for _ in range(ROUNDS)
+        for app, truth in hosts
+    ]
+
+
+def _bench_out_path():
+    return Path(os.environ.get("REPRO_BENCH_DIR", ".")) / "BENCH_service.json"
+
+
+def test_service_throughput_and_chaos_identity(benchmark, split):
+    detector = HMDDetector(DetectorConfig("REPTree", "boosted", 4)).fit(split.train)
+    jobs = _jobs()
+
+    # The serial truth every geometry must reproduce bit-for-bit.
+    monitor = RuntimeMonitor(detector, n_counters=4)
+    start = time.perf_counter()
+    serial_verdicts = [
+        monitor.monitor(
+            job.app, job.n_windows, ContainerPool(seed=POOL_SEED + i), job.is_malware
+        )
+        for i, job in enumerate(jobs)
+    ]
+    serial_seconds = time.perf_counter() - start
+    serial_windows = sum(v.n_windows for v in serial_verdicts)
+
+    rows = []
+    for producers, workers in GEOMETRIES:
+        for plan in (None, CHAOS):
+            service = DetectionService(
+                detector,
+                producers=producers,
+                workers=workers,
+                queue_depth=QUEUE_DEPTH,
+                pool_seed=POOL_SEED,
+                faults=plan,
+            )
+            report = service.run(jobs)
+            assert len(report.verdicts) == len(jobs), (
+                f"{producers}x{workers} chaos={plan is not None}: "
+                f"{len(report.verdicts)} verdicts for {len(jobs)} executions"
+            )
+            assert list(report.verdicts) == serial_verdicts, (
+                f"{producers}x{workers} chaos={plan is not None}: "
+                "verdicts diverged from the serial monitor"
+            )
+            rows.append(
+                {
+                    "producers": producers,
+                    "workers": workers,
+                    "chaos": plan is not None,
+                    "windows": report.n_windows,
+                    "windows_per_second": report.windows_per_second,
+                    "wall_seconds": report.wall_seconds,
+                    "worker_crashes": report.worker_crashes,
+                    "recovered_windows": report.recovered_windows,
+                    "backpressure_waits": report.backpressure_waits,
+                }
+            )
+
+    # Pin the benchmark timer on the largest pristine geometry.
+    producers, workers = GEOMETRIES[-1]
+    timed = DetectionService(
+        detector,
+        producers=producers,
+        workers=workers,
+        queue_depth=QUEUE_DEPTH,
+        pool_seed=POOL_SEED,
+    )
+    benchmark.pedantic(lambda: timed.run(jobs), rounds=1, iterations=1)
+
+    chaos_rows = [row for row in rows if row["chaos"]]
+    assert all(row["worker_crashes"] > 0 for row in chaos_rows), (
+        "chaos sweep injected no crashes; the chaos column is meaningless"
+    )
+
+    print()
+    print("geometry   chaos  windows/s   crashes  recovered  backpressure")
+    for row in rows:
+        print(
+            f"{row['producers']}p x {row['workers']}w   "
+            f"{'yes' if row['chaos'] else 'no ':5s} "
+            f"{row['windows_per_second']:>9,.0f}   "
+            f"{row['worker_crashes']:>7d}  {row['recovered_windows']:>9d}  "
+            f"{row['backpressure_waits']:>12d}"
+        )
+    print(f"serial     no    {serial_windows / serial_seconds:>9,.0f}")
+
+    out = _bench_out_path()
+    out.write_text(
+        json.dumps(
+            {
+                "bench": "service",
+                "quick": QUICK,
+                "n_jobs": len(jobs),
+                "n_windows_per_job": N_WINDOWS,
+                "queue_depth": QUEUE_DEPTH,
+                "serial_windows_per_second": serial_windows / serial_seconds,
+                "geometries": rows,
+            },
+            indent=1,
+        )
+    )
+    print(f"wrote {out}")

@@ -9,16 +9,18 @@ Installed as ``repro-hmd``.  Subcommands:
 * ``hardware`` — reproduce Table 3 (hardware cost estimates).
 * ``monitor``  — run-time detection demo on freshly executed applications.
 * ``fleet``    — fault-tolerant fleet monitoring with optional fault injection.
+* ``serve``    — streaming detection service over bounded queues.
 * ``verilog``  — emit RTL for a trained detector.
 * ``crossval`` — cross-validated scores with error bars.
 * ``evasion``  — malware recall vs evasion strength.
 * ``stats``    — summarize trace/metrics files from a previous run.
 * ``watch``    — live health monitoring over a trace/metrics pair.
 
-``matrix``/``hardware``/``monitor``/``fleet``/``crossval`` accept
-``--trace-out PATH`` (JSONL span/event trace) and ``--metrics-out
-PATH`` (JSON metrics snapshot); instrumentation is off — and free —
-unless one of them is given.  ``monitor``/``fleet`` additionally accept
+``matrix``/``hardware``/``monitor``/``fleet``/``serve``/``crossval``
+accept ``--trace-out PATH`` (JSONL span/event trace) and
+``--metrics-out PATH`` (JSON metrics snapshot); instrumentation is off
+— and free — unless one of them is given.
+``monitor``/``fleet``/``serve`` additionally accept
 ``--health-out`` / ``--alerts`` / ``--alert`` / ``--slo`` to evaluate
 health in-process and write a final health report; ``watch`` follows
 the files of a live (or finished, with ``--once``) run and exits
@@ -56,7 +58,7 @@ from repro.core import (
 )
 from repro.core.config import ENSEMBLE_MODES
 from repro.features import rank_features
-from repro.hpc import ContainerPool, FaultPlan
+from repro.hpc import ContainerPool, FaultPlan, ServiceFaultPlan
 from repro.ml import app_level_split
 from repro.obs import (
     HealthConfigError,
@@ -77,6 +79,7 @@ from repro.obs import (
     parse_slo,
     span_table,
 )
+from repro.serve import DetectionService, ServeJob
 from repro.workloads import BENIGN_FAMILIES, MALWARE_FAMILIES, default_corpus
 from repro.workloads.dataset import MALWARE
 
@@ -181,6 +184,44 @@ def _fault_rates(text: str) -> dict:
     if not rates:
         raise argparse.ArgumentTypeError("empty fault spec")
     return rates
+
+
+def _service_faults(text: str) -> dict:
+    """Parse ``crash=0.5`` / ``crash=0.5,max=3`` service chaos specs."""
+    fields: dict = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, raw = part.partition("=")
+        if not sep or key not in ("crash", "max"):
+            raise argparse.ArgumentTypeError(
+                f"bad service fault spec {part!r}; expected crash=R[,max=N]"
+            )
+        if key == "crash":
+            try:
+                rate = float(raw)
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"bad crash rate {raw!r}"
+                ) from None
+            if not 0.0 <= rate <= 1.0:
+                raise argparse.ArgumentTypeError(
+                    f"crash rate must be in [0, 1], got {raw}"
+                )
+            fields["worker_crash_rate"] = rate
+        else:
+            try:
+                fields["max_crashes_per_worker"] = int(raw)
+            except ValueError:
+                raise argparse.ArgumentTypeError(
+                    f"bad max crashes {raw!r}"
+                ) from None
+    if "worker_crash_rate" not in fields:
+        raise argparse.ArgumentTypeError(
+            "service fault spec needs a crash rate, e.g. crash=0.5"
+        )
+    return fields
 
 
 def _add_runner_args(parser: argparse.ArgumentParser) -> None:
@@ -501,6 +542,84 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Stream executions through the long-running detection service."""
+    import numpy as np
+
+    tracer, metrics = _make_obs(args)
+    with tracer.span("cli.corpus"):
+        corpus = _build_corpus(args)
+    split = app_level_split(corpus, 0.7, seed=args.split_seed)
+    config = DetectorConfig(args.classifier, args.ensemble, args.hpcs)
+    with tracer.span("cli.fit", config=config.name):
+        detector = HMDDetector(config).fit(split.train)
+    faults = (
+        ServiceFaultPlan(seed=args.seed + 321, **args.faults)
+        if args.faults is not None
+        else None
+    )
+    health = _make_health(args, tracer, metrics)
+    service = DetectionService(
+        detector,
+        producers=args.producers,
+        workers=args.serve_workers,
+        queue_depth=args.queue_depth,
+        n_counters=args.counters,
+        vote_threshold=args.vote_threshold,
+        host_vote_windows=args.host_vote_windows,
+        faults=faults,
+        pool_seed=args.seed + 99,
+        tracer=tracer,
+        metrics=metrics,
+        health=health,
+    )
+    rng = np.random.default_rng(args.seed + 100)
+    # Same host appears once per round, exercising the per-host sliding
+    # vote window across executions.
+    hosts = []
+    for family in (BENIGN_FAMILIES + MALWARE_FAMILIES)[:: args.stride]:
+        app = family.instantiate(rng)[0]
+        hosts.append((app, family.label == MALWARE))
+    jobs = [
+        ServeJob(app, args.windows, truth)
+        for _ in range(args.rounds)
+        for app, truth in hosts
+    ]
+    report = service.run(jobs)
+    if len(report.verdicts) != len(jobs):  # pragma: no cover - invariant
+        raise SystemExit(
+            f"verdict totality violated: {len(report.verdicts)} verdicts "
+            f"for {len(jobs)} executions"
+        )
+    print(f"{'application':28s} {'truth':7s} {'verdict':7s} {'flagged':>7s}")
+    correct = 0
+    for job, verdict in zip(jobs, report.verdicts):
+        correct += verdict.is_malware == job.is_malware
+        print(
+            f"{verdict.app_name:28s} "
+            f"{'malware' if job.is_malware else 'benign':7s} "
+            f"{'malware' if verdict.is_malware else 'benign':7s} "
+            f"{verdict.malware_fraction:>7.0%}"
+        )
+    for alert in report.alerts:
+        print(
+            f"ALERT host={alert['host']} flagged={alert['fraction']:.0%} "
+            f"over last {alert['windows']} windows"
+        )
+    print(
+        f"\nserve accuracy: {correct}/{len(report.verdicts)}  "
+        f"windows: {report.n_windows}  "
+        f"throughput: {report.windows_per_second:.0f} windows/s\n"
+        f"worker crashes: {report.worker_crashes}  "
+        f"recovered windows: {report.recovered_windows}  "
+        f"backpressure waits: {report.backpressure_waits}  "
+        f"host alerts: {len(report.alerts)}"
+    )
+    _finish_health(args, health)
+    _dump_obs(args, tracer, metrics)
+    return 0
+
+
 def cmd_verilog(args: argparse.Namespace) -> int:
     """Train a detector and emit its RTL implementation."""
     from repro.hardware.verilog import generate
@@ -743,6 +862,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_args(p)
     _add_health_args(p)
     p.set_defaults(func=cmd_fleet)
+
+    p = sub.add_parser(
+        "serve", help="streaming detection service over bounded queues"
+    )
+    _add_corpus_args(p)
+    p.add_argument("--split-seed", type=int, default=7)
+    p.add_argument("--classifier", default="REPTree", choices=CLASSIFIER_NAMES)
+    p.add_argument("--ensemble", default="boosted", choices=ENSEMBLE_MODES)
+    p.add_argument("--hpcs", type=int, default=4)
+    p.add_argument("--counters", type=int, default=4)
+    p.add_argument("--vote-threshold", type=_vote_threshold, default=0.5,
+                   help="flagged-window quorum for verdicts and host alerts")
+    p.add_argument("--stride", type=int, default=1,
+                   help="stream every Nth family only")
+    p.add_argument("--rounds", type=_positive_int, default=1,
+                   help="times each host executes (exercises the per-host "
+                   "sliding vote window)")
+    p.add_argument("--producers", type=_positive_int, default=2,
+                   help="concurrent execution/publish threads")
+    p.add_argument("--serve-workers", type=_positive_int, default=2,
+                   metavar="N", dest="serve_workers",
+                   help="sharded detector workers (and shard channels)")
+    p.add_argument("--queue-depth", type=_positive_int, default=32,
+                   help="bound of each shard channel (backpressure knob)")
+    p.add_argument("--host-vote-windows", type=_positive_int, default=16,
+                   help="length of each host's sliding vote window")
+    p.add_argument("--faults", type=_service_faults, default=None,
+                   metavar="SPEC",
+                   help="inject worker crashes, e.g. crash=0.5 or "
+                   "crash=0.5,max=3 (omit for a pristine run)")
+    _add_obs_args(p)
+    _add_health_args(p)
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("verilog", help="emit RTL for a trained detector")
     _add_corpus_args(p)

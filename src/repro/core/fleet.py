@@ -36,6 +36,7 @@ windows/second ceiling is the per-detector rate pinned by
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -113,11 +114,33 @@ class RetryPolicy:
             raise ValueError("timeout_s cannot be negative")
 
     def backoff_s(self, retry_index: int, rng: np.random.Generator) -> float:
-        """Sleep before the ``retry_index``-th retry (0-based)."""
-        raw = min(
-            self.base_backoff_s * self.backoff_multiplier**retry_index,
-            self.max_backoff_s,
-        )
+        """Sleep before the ``retry_index``-th retry (0-based).
+
+        Always finite: the exponent is clamped in log space before the
+        exponential is evaluated, so a high retry index hits
+        ``max_backoff_s`` instead of overflowing ``multiplier ** index``
+        to infinity (or an OverflowError) on its way to the cap.
+        """
+        if retry_index < 0:
+            raise ValueError(f"retry_index must be >= 0, got {retry_index}")
+        if self.base_backoff_s == 0.0 or self.max_backoff_s == 0.0:
+            raw = 0.0
+        elif self.backoff_multiplier == 1.0:
+            raw = min(self.base_backoff_s, self.max_backoff_s)
+        else:
+            # Smallest exponent at which the exponential reaches the cap;
+            # at or past it the answer is exactly max_backoff_s and the
+            # power must not be evaluated.
+            cap_exponent = math.log(self.max_backoff_s / self.base_backoff_s) / (
+                math.log(self.backoff_multiplier)
+            )
+            if retry_index >= cap_exponent:
+                raw = self.max_backoff_s
+            else:
+                raw = min(
+                    self.base_backoff_s * self.backoff_multiplier**retry_index,
+                    self.max_backoff_s,
+                )
         if self.jitter:
             raw *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
         return raw

@@ -37,6 +37,8 @@ from repro.hpc.faults import (
     FaultyContainerPool,
     GlitchyCounterRegisterFile,
     PermanentHostError,
+    ServiceFaultPlan,
+    WorkerCrashError,
 )
 from repro.hpc.lxc import Container, ContainerDestroyedError, ContainerPool
 from repro.hpc.microarch import (
@@ -89,7 +91,9 @@ __all__ = [
     "PermanentHostError",
     "PhaseMix",
     "PhaseParameters",
+    "ServiceFaultPlan",
     "TraceRecording",
+    "WorkerCrashError",
     "batch_events",
     "events_of_class",
     "record_application",

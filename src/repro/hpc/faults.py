@@ -47,6 +47,8 @@ from repro.hpc.microarch import DEFAULT_WINDOW_MS, ApplicationBehavior
 _PERMANENT_STREAM = 0x9E37
 #: Domain tag for the retry-backoff jitter stream.
 _JITTER_STREAM = 0xB0FF
+#: Domain tag for the streaming service's worker-crash stream.
+_WORKER_STREAM = 0xC4A5
 
 
 class FaultInjectionError(RuntimeError):
@@ -81,6 +83,17 @@ class CounterReadGlitchError(FaultInjectionError):
 
 class PermanentHostError(FaultInjectionError):
     """The application's host is gone; retrying cannot succeed."""
+
+
+class WorkerCrashError(FaultInjectionError):
+    """An injected detector-worker crash inside the streaming service.
+
+    Raised by a :class:`~repro.serve.DetectionService` worker while it
+    is processing a message — the message (and every message the worker
+    consumed before it) is lost with the worker's in-memory assembly
+    state, which is exactly the failure the service's supervisor must
+    recover from without dropping or duplicating a verdict.
+    """
 
 
 def app_key(app_name: str) -> int:
@@ -193,6 +206,66 @@ class FaultPlan:
     def jitter_rng(self, app_name: str, attempt: int) -> np.random.Generator:
         """Deterministic RNG stream for retry-backoff jitter."""
         return self._rng(app_key(app_name), attempt, _JITTER_STREAM)
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """Seeded chaos plan for the streaming service's own workers.
+
+    Where :class:`FaultPlan` breaks the *measurement substrate* under a
+    monitor, this plan breaks the *detection service itself*: detector
+    workers crash mid-stream, losing whatever per-host assembly state
+    they held, and the supervisor must restart them and redeliver.  All
+    draws are pure functions of ``(seed, worker, incarnation)``, so a
+    chaos run replays bit-for-bit.
+
+    Args:
+        seed: base seed; equal fields ⇒ identical behaviour.
+        worker_crash_rate: probability a given worker incarnation
+            crashes at some point in its life.
+        max_crashes_per_worker: incarnations at or beyond this index
+            never crash, bounding the chaos so every stream drains
+            (liveness guard — with it, any plan terminates).
+
+    """
+
+    seed: int = 0
+    worker_crash_rate: float = 0.0
+    max_crashes_per_worker: int = 5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.worker_crash_rate <= 1.0:
+            raise ValueError(
+                f"worker_crash_rate must be in [0, 1], got {self.worker_crash_rate}"
+            )
+        if self.max_crashes_per_worker < 0:
+            raise ValueError(
+                f"max_crashes_per_worker cannot be negative, got "
+                f"{self.max_crashes_per_worker}"
+            )
+
+    def crash_after(
+        self, worker_index: int, incarnation: int, scale: int = 64
+    ) -> int | None:
+        """Messages this worker incarnation consumes before crashing.
+
+        Returns None for a clean incarnation.  ``scale`` sets the draw
+        range (callers pass roughly the messages-per-execution so
+        crashes land mid-assembly, the interesting case); the result is
+        always >= 1, so every incarnation makes progress.
+        """
+        if worker_index < 0 or incarnation < 0:
+            raise ValueError("worker_index and incarnation must be >= 0")
+        if incarnation >= self.max_crashes_per_worker:
+            return None
+        if self.worker_crash_rate == 0.0:
+            return None
+        rng = np.random.default_rng(
+            (self.seed, _WORKER_STREAM, worker_index, incarnation)
+        )
+        if rng.random() >= self.worker_crash_rate:
+            return None
+        return int(rng.integers(1, max(scale, 2)))
 
 
 class FaultyContainerPool:

@@ -578,7 +578,7 @@ def parse_slo(spec: str) -> SLO:
 
 
 #: Trace event names the evaluator recognizes as verdict streams.
-_VERDICT_EVENTS = ("fleet.verdict", "monitor.verdict")
+_VERDICT_EVENTS = ("fleet.verdict", "monitor.verdict", "serve.verdict")
 
 
 class HealthEvaluator:

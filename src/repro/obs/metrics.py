@@ -309,10 +309,16 @@ def merge_snapshots(snapshots) -> dict:
 def snapshot_delta(old: dict, new: dict) -> dict:
     """The change from ``old`` to ``new``, as a mergeable snapshot.
 
-    Counters and histogram bucket counts subtract (clamped at zero, so a
-    producer restart that reset its registry degrades to "no change"
-    rather than negative counts); gauges take the new value.  The result
-    is itself a valid snapshot: absorbing every delta via
+    Counters and histogram bucket counts subtract; gauges take the new
+    value.  A value that went *backwards* means the producer restarted
+    and is re-accumulating from zero — monotone instruments cannot
+    regress within one process — so the regression is treated as a
+    reset and the whole new value is the increment (for histograms, any
+    regressed bucket or total resets the whole histogram, since one
+    restart resets every bucket together).  Swallowing the regression
+    as "no change" instead would silently drop everything the restarted
+    run observed until it overtook the old totals.  The result is
+    itself a valid snapshot: absorbing every delta via
     :meth:`Registry.merge` reconstructs the cumulative state, which is
     how a live watcher folds a growing metrics file into a sliding
     window without double counting.
@@ -320,26 +326,33 @@ def snapshot_delta(old: dict, new: dict) -> dict:
     delta: dict = {"counters": {}, "gauges": {}, "histograms": {}}
     for name, data in new.get("counters", {}).items():
         previous = old.get("counters", {}).get(name, {}).get("value", 0.0)
+        value = data["value"]
         delta["counters"][name] = {
             "help": data.get("help", ""),
-            "value": max(data["value"] - previous, 0.0),
+            "value": value if value < previous else value - previous,
         }
     for name, data in new.get("gauges", {}).items():
         delta["gauges"][name] = dict(data)
     for name, data in new.get("histograms", {}).items():
         previous = old.get("histograms", {}).get(name)
-        if previous is None or list(previous["buckets"]) != list(data["buckets"]):
-            delta["histograms"][name] = dict(data)
+        reset = (
+            previous is None
+            or list(previous["buckets"]) != list(data["buckets"])
+            or data["count"] < previous["count"]
+            or data["sum"] < previous["sum"]
+            or any(c < p for c, p in zip(data["counts"], previous["counts"]))
+        )
+        if reset:
+            entry = dict(data)
+            entry["counts"] = list(data["counts"])
+            delta["histograms"][name] = entry
             continue
-        counts = [
-            max(c - p, 0) for c, p in zip(data["counts"], previous["counts"])
-        ]
         delta["histograms"][name] = {
             "help": data.get("help", ""),
             "buckets": list(data["buckets"]),
-            "counts": counts,
-            "sum": max(data["sum"] - previous["sum"], 0.0),
-            "count": max(data["count"] - previous["count"], 0),
+            "counts": [c - p for c, p in zip(data["counts"], previous["counts"])],
+            "sum": data["sum"] - previous["sum"],
+            "count": data["count"] - previous["count"],
         }
     return delta
 

@@ -33,9 +33,24 @@ from pathlib import Path
 
 from repro.obs.metrics import snapshot_delta
 
+#: How many leading bytes fingerprint a followed file.  A rewrite whose
+#: first ``_HEAD_FINGERPRINT_BYTES`` bytes coincide with the old
+#: content's is indistinguishable from an append — acceptable for JSONL
+#: traces, whose first line carries per-run values (timestamps, pids).
+_HEAD_FINGERPRINT_BYTES = 64
+
 
 class TraceFollower:
     """Incrementally read new events from a growing JSONL trace.
+
+    Beyond rotation (new inode) and shrinking truncation, the follower
+    also detects *in-place rewrites that regrow past the old offset*: a
+    trace truncated and re-filled between two polls keeps its
+    ``(st_dev, st_ino)`` signature and can reach ``size >= offset``, so
+    offset arithmetic alone would silently resume mid-file and yield
+    torn events.  A fingerprint of the file's first bytes is re-verified
+    on every poll; when the head no longer matches, the follower resets
+    to the start of the new content.
 
     Args:
         path: trace file to follow; may not exist yet.
@@ -46,6 +61,7 @@ class TraceFollower:
         self._offset = 0
         self._signature: tuple[int, int] | None = None
         self._partial = b""
+        self._head = b""
 
     def _stat_signature(self) -> tuple[int, int] | None:
         try:
@@ -71,13 +87,18 @@ class TraceFollower:
             self._signature = signature
             self._offset = 0
             self._partial = b""
+            self._head = b""
         try:
             with open(self.path, "rb") as handle:
                 size = os.fstat(handle.fileno()).st_size
-                if size < self._offset:
-                    # Truncated in place: start over.
+                head = handle.read(min(size, _HEAD_FINGERPRINT_BYTES))
+                if size < self._offset or not head.startswith(self._head):
+                    # Truncated in place — or truncated *and regrown past
+                    # the old offset*, which size alone cannot see but
+                    # the head fingerprint can: start over.
                     self._offset = 0
                     self._partial = b""
+                self._head = head
                 handle.seek(self._offset)
                 chunk = handle.read()
                 self._offset = handle.tell()

@@ -1,0 +1,24 @@
+"""Streaming detection service over a bounded in-process queue fabric.
+
+The long-running counterpart of the batch :mod:`repro.core.fleet`
+monitor: producers stream per-window HPC samples onto sharded bounded
+channels (:mod:`repro.serve.bus`) and detector workers consume them,
+classify closed windows through the vectorized inference kernels, and
+emit exactly one verdict per execution — including under injected
+worker crashes (:class:`~repro.hpc.faults.ServiceFaultPlan`), recovered
+from the producer-side ledger (:mod:`repro.serve.service`).
+"""
+
+from repro.serve.bus import SHUTDOWN, Bus, Channel, WindowClosed, WindowSample
+from repro.serve.service import DetectionService, ServeJob, ServiceReport
+
+__all__ = [
+    "Bus",
+    "Channel",
+    "DetectionService",
+    "SHUTDOWN",
+    "ServeJob",
+    "ServiceReport",
+    "WindowClosed",
+    "WindowSample",
+]

@@ -1,0 +1,599 @@
+"""The streaming detection service: ``fleet run`` becomes ``fleet serve``.
+
+:class:`~repro.core.fleet.FleetMonitor` is a batch fan-out: a fixed job
+list in, a verdict list out.  :class:`DetectionService` is the
+long-running shape the paper's run-time argument actually implies —
+detection *while programs execute*, as a pipeline of concurrent stages
+over the bounded queue fabric in :mod:`repro.serve.bus`:
+
+* **producers** execute applications on the container substrate and
+  publish each sampling window as it happens (one
+  :class:`~repro.serve.bus.WindowSample` per window, then a
+  :class:`~repro.serve.bus.WindowClosed` marker), blocking on
+  backpressure when the detector side is saturated;
+* **sharded detector workers** each own the hosts that hash to their
+  channel: they reassemble executions window by window, classify a
+  closed window batch through the vectorized inference kernels
+  (:func:`~repro.core.runtime.classify_trace`), emit exactly one
+  :class:`~repro.core.runtime.DetectionVerdict` per closed execution,
+  and maintain a per-host sliding vote window across executions that
+  raises ``serve.alert`` events when a host's recent windows trip the
+  vote threshold;
+* a **supervisor** (the :meth:`DetectionService.run` thread) watches for
+  injected worker crashes (:class:`~repro.hpc.faults.ServiceFaultPlan`,
+  the same seeded-chaos discipline :class:`~repro.hpc.faults.FaultPlan`
+  applies to the substrate) and keeps the verdict stream total.
+
+Crash recovery without duplicate verdicts: before publishing anything,
+a producer registers the execution's full trace in an in-memory
+**ledger** (the durable store — the role Redis plays in
+StratosphereLinuxIPS).  Workers assemble into per-``(execution, seq)``
+dictionaries, so redelivered windows are idempotent, and a replacement
+worker incarnation rebuilds its assembly state straight from the ledger
+instead of republishing into a bounded channel (which could deadlock
+against a full queue).  Verdict emission is a check-and-set on the
+shared verdict table, so no matter how deliveries and recoveries
+interleave, **every closed window yields exactly one verdict** — and
+because classification is a pure function of the assembled trace, the
+verdicts are bit-identical to a serial
+:class:`~repro.core.runtime.RuntimeMonitor` sweep whether or not
+workers crashed along the way.
+
+Determinism contract: execution ``i`` runs in a private
+:class:`~repro.hpc.lxc.ContainerPool` seeded ``pool_seed + i`` — the
+same container-seed sequence a serial monitor draws from one shared
+pool — so verdicts (and their order in the report, which is submission
+order) are bit-identical to serial monitoring at any producer × worker
+geometry.  With multiple producers the *interleaving* of per-host alert
+events may vary; the verdicts never do.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.detector import HMDDetector
+from repro.core.runtime import (
+    DetectionVerdict,
+    classify_trace,
+    detection_latency_windows,
+    validate_deployment,
+)
+from repro.hpc.events import ALL_EVENTS
+from repro.hpc.faults import ServiceFaultPlan, WorkerCrashError
+from repro.hpc.lxc import ContainerPool
+from repro.hpc.microarch import DEFAULT_WINDOW_MS, ApplicationBehavior
+from repro.obs import (
+    FAST_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    HealthEvaluator,
+    Registry,
+    Tracer,
+)
+from repro.serve.bus import SHUTDOWN, Bus, WindowClosed, WindowSample
+
+
+@dataclass(frozen=True)
+class ServeJob:
+    """One execution submitted to the service's stream.
+
+    Args:
+        app: behaviour model to execute.
+        n_windows: sampling windows to stream.
+        is_malware: ground truth, used only by the execution substrate
+            (container contamination), never by the detector.
+        host: host identity for sharding and the sliding vote window;
+            defaults to the application name.
+    """
+
+    app: ApplicationBehavior
+    n_windows: int
+    is_malware: bool
+    host: str | None = None
+
+    @property
+    def host_name(self) -> str:
+        return self.host if self.host is not None else self.app.name
+
+
+@dataclass
+class _ExecutionRecord:
+    """Ledger entry: the authoritative copy of one execution's stream.
+
+    ``trace`` is set (complete) before the first window is published and
+    ``closed`` is set before the close marker is published, so a
+    recovering worker reading the ledger always sees at least as much
+    as was ever on the wire.
+    """
+
+    index: int
+    job: ServeJob
+    shard: int
+    trace: np.ndarray | None = None
+    closed: bool = False
+
+
+@dataclass(frozen=True)
+class ServiceReport:
+    """What one :meth:`DetectionService.run` streamed and survived.
+
+    Attributes:
+        verdicts: one verdict per submitted job, in submission order.
+        alerts: per-host sliding-vote alerts, as emitted.
+        n_windows: sampling windows classified into verdicts.
+        worker_crashes: injected worker crashes survived (each one
+            forced a restart and a ledger recovery).
+        recovered_windows: windows rebuilt from the ledger by restarted
+            workers.
+        backpressure_waits: producer publishes that blocked on a full
+            channel.
+        wall_seconds: end-to-end run time.
+    """
+
+    verdicts: tuple[DetectionVerdict, ...]
+    alerts: tuple[dict, ...]
+    n_windows: int
+    worker_crashes: int
+    recovered_windows: int
+    backpressure_waits: int
+    wall_seconds: float
+
+    @property
+    def windows_per_second(self) -> float:
+        return self.n_windows / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+class _RunState:
+    """Mutable state shared by one run's producers, workers, supervisor."""
+
+    def __init__(self, records: list[_ExecutionRecord], bus: Bus) -> None:
+        self.records = records
+        self.bus = bus
+        self.verdicts: dict[int, DetectionVerdict] = {}
+        self.verdict_lock = threading.Lock()
+        self.done = threading.Event()
+        self.next_job = 0
+        self.job_lock = threading.Lock()
+        self.host_flags: dict[str, deque] = {}
+        self.alerts: list[dict] = []
+        self.crashes = 0
+        self.recovered_windows = 0
+        self.stat_lock = threading.Lock()
+        self.failures: list[BaseException] = []
+        # Messages per execution (windows + close), sizing crash draws so
+        # injected crashes land mid-assembly.
+        self.crash_scale = 1 + max(
+            (record.job.n_windows for record in records), default=0
+        )
+
+    def records_for_shard(self, shard: int) -> list[_ExecutionRecord]:
+        return [record for record in self.records if record.shard == shard]
+
+
+class DetectionService:
+    """Long-running streaming detection over the bounded queue fabric.
+
+    Args:
+        detector: fitted detector; the register-capacity constraint of
+            :class:`~repro.core.runtime.RuntimeMonitor` applies.
+        producers: concurrent execution/publish threads.
+        workers: sharded detector workers (and shard channels).
+        queue_depth: bound of each shard channel — the backpressure
+            knob: smaller depths throttle producers sooner.
+        n_counters: physical counter registers per monitored host.
+        vote_threshold: quorum fraction for per-execution verdicts and
+            the per-host sliding vote window.
+        window_ms: sampling interval.
+        host_vote_windows: length (in sampling windows) of each host's
+            sliding vote window; a full window whose flagged fraction
+            reaches ``vote_threshold`` raises a ``serve.alert`` event.
+        faults: optional seeded :class:`~repro.hpc.faults.ServiceFaultPlan`
+            crashing detector workers mid-stream; None means no chaos.
+        pool_seed: base seed of the per-execution container pools
+            (execution ``i`` uses ``pool_seed + i``, the serial-monitor
+            sequence).
+        tracer: optional tracer; records a ``serve.run`` span plus
+            ``serve.verdict`` / ``serve.alert`` / ``serve.worker_crash``
+            events.
+        metrics: optional registry (windows, executions, alarms,
+            crashes, recoveries, backpressure, classify latency).
+        health: optional :class:`~repro.obs.HealthEvaluator` fed every
+            verdict and classify latency in-process; it observes but
+            never alters verdicts.
+    """
+
+    def __init__(
+        self,
+        detector: HMDDetector,
+        producers: int = 1,
+        workers: int = 1,
+        queue_depth: int = 64,
+        n_counters: int = 4,
+        vote_threshold: float = 0.5,
+        window_ms: float = DEFAULT_WINDOW_MS,
+        host_vote_windows: int = 16,
+        faults: ServiceFaultPlan | None = None,
+        pool_seed: int = 0,
+        tracer: Tracer | None = None,
+        metrics: Registry | None = None,
+        health: HealthEvaluator | None = None,
+    ) -> None:
+        validate_deployment(detector, n_counters, vote_threshold)
+        if producers < 1:
+            raise ValueError(f"producers must be >= 1, got {producers}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if host_vote_windows < 1:
+            raise ValueError(
+                f"host_vote_windows must be >= 1, got {host_vote_windows}"
+            )
+        self.detector = detector
+        self.producers = producers
+        self.workers = workers
+        self.queue_depth = queue_depth
+        self.n_counters = n_counters
+        self.vote_threshold = vote_threshold
+        self.window_ms = window_ms
+        self.host_vote_windows = host_vote_windows
+        self.faults = faults
+        self.pool_seed = pool_seed
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.health = health
+        self._metrics_lock = threading.Lock()
+        self._c_executions = self.metrics.counter(
+            "serve_executions_total", "executions streamed to a verdict"
+        )
+        self._c_windows = self.metrics.counter(
+            "serve_windows_total", "sampling windows classified by the service"
+        )
+        self._c_alarms = self.metrics.counter(
+            "serve_alarms_total", "execution-level malware alarms raised"
+        )
+        self._c_host_alerts = self.metrics.counter(
+            "serve_host_alerts_total", "per-host sliding-vote alerts raised"
+        )
+        self._c_crashes = self.metrics.counter(
+            "serve_worker_crashes_total", "injected detector-worker crashes"
+        )
+        self._c_recovered = self.metrics.counter(
+            "serve_recovered_windows_total",
+            "windows rebuilt from the ledger by restarted workers",
+        )
+        self._c_backpressure = self.metrics.counter(
+            "serve_backpressure_waits_total",
+            "publishes that blocked on a full channel",
+        )
+        self._h_classify = self.metrics.histogram(
+            "serve_window_classify_seconds",
+            "per-window classification latency (amortized over each "
+            "closed window's batch)",
+            buckets=FAST_LATENCY_BUCKETS,
+        )
+
+    # -- producers ------------------------------------------------------
+    def _produce(self, state: _RunState) -> None:
+        """Claim executions, run them, and stream their windows."""
+        while True:
+            with state.job_lock:
+                if state.next_job >= len(state.records):
+                    return
+                record = state.records[state.next_job]
+                state.next_job += 1
+            job = record.job
+            pool = ContainerPool(seed=self.pool_seed + record.index)
+            trace = pool.run(
+                job.app, job.n_windows, job.is_malware, window_ms=self.window_ms
+            )
+            # Ledger before wire: recovery must never see less than a
+            # worker could have consumed.
+            record.trace = trace
+            channel = state.bus.shards[record.shard]
+            for seq in range(trace.shape[0]):
+                channel.publish(
+                    WindowSample(record.job.host_name, record.index, seq, trace[seq])
+                )
+            record.closed = True
+            channel.publish(
+                WindowClosed(
+                    record.job.host_name, record.index, job.app.name, job.n_windows
+                )
+            )
+
+    # -- workers --------------------------------------------------------
+    def _assemble(self, rows: dict[int, np.ndarray], n_windows: int) -> np.ndarray:
+        if n_windows == 0:
+            return np.zeros((0, len(ALL_EVENTS)))
+        return np.stack([rows[seq] for seq in range(n_windows)])
+
+    def _emit_verdict(
+        self, state: _RunState, closed: WindowClosed, verdict: DetectionVerdict,
+        elapsed: float,
+    ) -> None:
+        """Publish one verdict exactly once, no matter who computed it."""
+        with state.verdict_lock:
+            if closed.execution in state.verdicts:
+                return
+            state.verdicts[closed.execution] = verdict
+            remaining = len(state.records) - len(state.verdicts)
+        n = verdict.n_windows
+        with self._metrics_lock:
+            self._c_executions.inc()
+            self._c_windows.inc(n)
+            if verdict.is_malware:
+                self._c_alarms.inc()
+            if n:
+                self._h_classify.observe_many(elapsed / n, n)
+        latency = detection_latency_windows(
+            verdict.window_flags, self.vote_threshold
+        )
+        self.tracer.event(
+            "serve.verdict",
+            app=verdict.app_name,
+            host=closed.host,
+            index=closed.execution,
+            is_malware=verdict.is_malware,
+            malware_fraction=verdict.malware_fraction,
+            n_windows=n,
+            detection_latency_windows=latency,
+        )
+        if self.health is not None:
+            if n:
+                self.health.observe_classify(elapsed / n, n)
+            self.health.observe_verdict(
+                verdict.app_name,
+                is_malware=verdict.is_malware,
+                degraded=verdict.degraded,
+                n_windows=n,
+                n_windows_lost=verdict.n_windows_lost,
+            )
+        self._observe_host(state, closed.host, closed.execution, verdict)
+        if remaining == 0:
+            state.done.set()
+
+    def _observe_host(
+        self, state: _RunState, host: str, execution: int,
+        verdict: DetectionVerdict,
+    ) -> None:
+        """Slide the host's vote window; alert when a full window trips.
+
+        Only the host's shard owner ever touches its deque (incarnations
+        of one shard never overlap), so no lock is needed.
+        """
+        window = state.host_flags.get(host)
+        if window is None:
+            window = state.host_flags.setdefault(
+                host, deque(maxlen=self.host_vote_windows)
+            )
+        window.extend(int(flag) for flag in verdict.window_flags)
+        if len(window) < self.host_vote_windows:
+            return
+        fraction = sum(window) / len(window)
+        if fraction >= self.vote_threshold:
+            alert = {
+                "host": host,
+                "execution": execution,
+                "fraction": fraction,
+                "windows": len(window),
+            }
+            state.alerts.append(alert)
+            with self._metrics_lock:
+                self._c_host_alerts.inc()
+            self.tracer.event("serve.alert", **alert)
+
+    def _handle_close(
+        self, state: _RunState, assembly: dict[int, dict[int, np.ndarray]],
+        closed: WindowClosed,
+    ) -> None:
+        rows = assembly.get(closed.execution, {})
+        if len(rows) < closed.n_windows:
+            # Torn assembly: some windows were consumed by a crashed
+            # incarnation.  The recovery pass that follows every crash
+            # rebuilds the full assembly from the ledger, so a complete
+            # close for this execution is still coming — skip this one.
+            return
+        with state.verdict_lock:
+            already = closed.execution in state.verdicts
+        if already:
+            assembly.pop(closed.execution, None)
+            return
+        trace = self._assemble(rows, closed.n_windows)
+        start = time.perf_counter()
+        flags = classify_trace(self.detector, self.n_counters, trace)
+        elapsed = time.perf_counter() - start
+        verdict = DetectionVerdict.from_flags(
+            closed.app_name, flags, self.vote_threshold
+        )
+        self._emit_verdict(state, closed, verdict, elapsed)
+        assembly.pop(closed.execution, None)
+
+    def _recover(
+        self, state: _RunState, shard: int,
+        assembly: dict[int, dict[int, np.ndarray]],
+    ) -> None:
+        """Rebuild a restarted worker's state from the ledger.
+
+        The previous incarnation's consumed-but-unverdicted messages
+        died with it; the ledger holds every produced execution in
+        full, so recovery replays from there instead of republishing
+        into a bounded channel (which could deadlock against a full
+        queue with no consumer).  Duplicates still in the channel are
+        harmless — assembly is keyed by ``(execution, seq)`` and
+        emission is check-and-set.
+        """
+        for record in state.records_for_shard(shard):
+            trace = record.trace
+            if trace is None:
+                continue
+            with state.verdict_lock:
+                if record.index in state.verdicts:
+                    continue
+            assembly[record.index] = {
+                seq: trace[seq] for seq in range(trace.shape[0])
+            }
+            with state.stat_lock:
+                state.recovered_windows += trace.shape[0]
+            with self._metrics_lock:
+                self._c_recovered.inc(trace.shape[0])
+            if record.closed:
+                self._handle_close(
+                    state,
+                    assembly,
+                    WindowClosed(
+                        record.job.host_name,
+                        record.index,
+                        record.job.app.name,
+                        record.job.n_windows,
+                    ),
+                )
+
+    def _worker_incarnation(
+        self, state: _RunState, worker_index: int, incarnation: int
+    ) -> None:
+        """One worker life: recover, then consume until shutdown or crash."""
+        channel = state.bus.shards[worker_index]
+        assembly: dict[int, dict[int, np.ndarray]] = {}
+        if incarnation > 0:
+            self._recover(state, worker_index, assembly)
+        crash_after = (
+            self.faults.crash_after(
+                worker_index, incarnation, scale=state.crash_scale
+            )
+            if self.faults is not None
+            else None
+        )
+        consumed = 0
+        while True:
+            message = channel.consume()
+            if message is SHUTDOWN:
+                return
+            consumed += 1
+            if crash_after is not None and consumed >= crash_after:
+                # The message just consumed dies with the worker — the
+                # loss the ledger recovery exists to repair.
+                raise WorkerCrashError(
+                    f"injected crash: worker {worker_index} incarnation "
+                    f"{incarnation} after {consumed} messages"
+                )
+            if isinstance(message, WindowSample):
+                assembly.setdefault(message.execution, {})[message.seq] = message.row
+            elif isinstance(message, WindowClosed):
+                self._handle_close(state, assembly, message)
+
+    def _worker_loop(self, state: _RunState, worker_index: int) -> None:
+        """Supervised worker: every injected crash becomes a restart."""
+        incarnation = 0
+        while True:
+            try:
+                self._worker_incarnation(state, worker_index, incarnation)
+                return
+            except WorkerCrashError:
+                with state.stat_lock:
+                    state.crashes += 1
+                with self._metrics_lock:
+                    self._c_crashes.inc()
+                self.tracer.event(
+                    "serve.worker_crash",
+                    worker=worker_index,
+                    incarnation=incarnation,
+                )
+                incarnation += 1
+            except BaseException as exc:  # pragma: no cover - defensive
+                with state.stat_lock:
+                    state.failures.append(exc)
+                state.done.set()
+                return
+
+    def _produce_loop(self, state: _RunState) -> None:
+        try:
+            self._produce(state)
+        except BaseException as exc:  # pragma: no cover - defensive
+            with state.stat_lock:
+                state.failures.append(exc)
+            state.done.set()
+
+    # -- the service ----------------------------------------------------
+    def run(self, jobs: Iterable[ServeJob | Sequence]) -> ServiceReport:
+        """Stream every job through the service to exactly one verdict.
+
+        Jobs may be :class:`ServeJob` instances or ``(app, n_windows,
+        is_malware)`` tuples.  Returns when every submitted execution
+        has closed and emitted its verdict — a bounded run of the
+        long-running service loop, which is also how the benchmark and
+        the CLI drive it.
+        """
+        normalized = [
+            job if isinstance(job, ServeJob) else ServeJob(*job) for job in jobs
+        ]
+        bus = Bus(self.workers, self.queue_depth)
+        records = [
+            _ExecutionRecord(index=i, job=job, shard=bus.shard_for(job.host_name))
+            for i, job in enumerate(normalized)
+        ]
+        state = _RunState(records, bus)
+        started = time.perf_counter()
+        with self.tracer.span(
+            "serve.run",
+            n_jobs=len(records),
+            producers=self.producers,
+            workers=self.workers,
+            queue_depth=self.queue_depth,
+        ) as span:
+            if not records:
+                state.done.set()
+            worker_threads = [
+                threading.Thread(
+                    target=self._worker_loop, args=(state, w),
+                    name=f"serve-worker-{w}", daemon=True,
+                )
+                for w in range(self.workers)
+            ]
+            producer_threads = [
+                threading.Thread(
+                    target=self._produce_loop, args=(state,),
+                    name=f"serve-producer-{p}", daemon=True,
+                )
+                for p in range(self.producers)
+            ]
+            for thread in worker_threads + producer_threads:
+                thread.start()
+            state.done.wait()
+            if state.failures:
+                raise RuntimeError(
+                    "streaming service failed"
+                ) from state.failures[0]
+            for thread in producer_threads:
+                thread.join()
+            for channel in bus.shards:
+                channel.publish(SHUTDOWN)
+            for thread in worker_threads:
+                thread.join()
+            wall = time.perf_counter() - started
+            with self._metrics_lock:
+                self._c_backpressure.inc(bus.backpressure_waits)
+            span.set(
+                crashes=state.crashes,
+                backpressure_waits=bus.backpressure_waits,
+            )
+        if len(state.verdicts) != len(records):  # pragma: no cover - invariant
+            raise RuntimeError(
+                f"verdict totality violated: {len(state.verdicts)} verdicts "
+                f"for {len(records)} closed windows"
+            )
+        verdicts = tuple(state.verdicts[i] for i in range(len(records)))
+        return ServiceReport(
+            verdicts=verdicts,
+            alerts=tuple(state.alerts),
+            n_windows=sum(v.n_windows for v in verdicts),
+            worker_crashes=state.crashes,
+            recovered_windows=state.recovered_windows,
+            backpressure_waits=bus.backpressure_waits,
+            wall_seconds=wall,
+        )

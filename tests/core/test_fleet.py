@@ -84,6 +84,46 @@ def test_retry_policy_backoff_deterministic_and_bounded():
         assert nominal * 0.8 <= value <= nominal * 1.2
 
 
+def test_retry_policy_backoff_finite_at_huge_retry_counts():
+    """multiplier ** index overflows float range long before the cap is
+    applied; the clamp must happen in log space so a pathological retry
+    count still sleeps max_backoff_s, not inf (or raises OverflowError)."""
+    policy = RetryPolicy(jitter=0.0)
+    for index in (100, 1_000, 10_000, 2**20):
+        value = policy.backoff_s(index, np.random.default_rng(0))
+        assert np.isfinite(value)
+        assert value == policy.max_backoff_s
+    jittery = RetryPolicy(jitter=0.1)
+    value = jittery.backoff_s(10_000, np.random.default_rng(0))
+    assert np.isfinite(value)
+    assert value <= jittery.max_backoff_s * 1.1
+
+
+@settings(deadline=None, max_examples=60)
+@given(
+    base=st.floats(1e-6, 10.0),
+    multiplier=st.floats(1.0, 16.0),
+    max_backoff=st.floats(1e-6, 100.0),
+    jitter=st.floats(0.0, 0.99),
+    index=st.integers(0, 10_000),
+)
+def test_retry_policy_backoff_properties(base, multiplier, max_backoff, jitter, index):
+    """Finite always; bounded by max_backoff_s * (1 + jitter); monotone
+    non-decreasing in the retry index when jitter is off."""
+    policy = RetryPolicy(
+        base_backoff_s=base,
+        backoff_multiplier=multiplier,
+        max_backoff_s=max_backoff,
+        jitter=jitter,
+    )
+    rng = np.random.default_rng(7)
+    value = policy.backoff_s(index, rng)
+    assert np.isfinite(value)
+    assert 0.0 <= value <= max_backoff * (1.0 + jitter) * (1.0 + 1e-12)
+    if jitter == 0.0 and index > 0:
+        assert value >= policy.backoff_s(index - 1, rng)
+
+
 # -- differential: fleet vs serial -------------------------------------
 
 

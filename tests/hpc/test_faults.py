@@ -14,6 +14,7 @@ from repro.hpc.faults import (
     FaultyContainerPool,
     GlitchyCounterRegisterFile,
     PermanentHostError,
+    ServiceFaultPlan,
 )
 from repro.hpc.lxc import ContainerPool
 from repro.workloads.benign import BENIGN_FAMILIES
@@ -137,3 +138,54 @@ def test_glitchy_register_file_raises_at_configured_read():
 def test_fault_draw_defaults():
     assert FaultDraw() == NO_FAULTS
     assert not FaultDraw(crash_after=3).is_clean
+
+
+# -- ServiceFaultPlan --------------------------------------------------
+
+
+def test_service_fault_plan_validation():
+    with pytest.raises(ValueError):
+        ServiceFaultPlan(worker_crash_rate=1.5)
+    with pytest.raises(ValueError):
+        ServiceFaultPlan(worker_crash_rate=-0.1)
+    with pytest.raises(ValueError):
+        ServiceFaultPlan(max_crashes_per_worker=-1)
+    with pytest.raises(ValueError):
+        ServiceFaultPlan().crash_after(-1, 0)
+    with pytest.raises(ValueError):
+        ServiceFaultPlan().crash_after(0, -1)
+
+
+def test_service_fault_plan_draws_are_deterministic():
+    plan = ServiceFaultPlan(seed=3, worker_crash_rate=0.7)
+    again = ServiceFaultPlan(seed=3, worker_crash_rate=0.7)
+    draws = [plan.crash_after(w, i) for w in range(4) for i in range(4)]
+    assert draws == [again.crash_after(w, i) for w in range(4) for i in range(4)]
+    # A different seed gives a different schedule somewhere.
+    other = ServiceFaultPlan(seed=4, worker_crash_rate=0.7)
+    assert draws != [other.crash_after(w, i) for w in range(4) for i in range(4)]
+
+
+def test_service_fault_plan_zero_rate_never_crashes():
+    plan = ServiceFaultPlan(seed=0, worker_crash_rate=0.0)
+    assert all(plan.crash_after(w, i) is None for w in range(8) for i in range(8))
+
+
+def test_service_fault_plan_crashes_stop_at_max():
+    """Liveness guard: incarnations at or past the cap never crash, so
+    every stream eventually drains even at crash rate 1.0."""
+    plan = ServiceFaultPlan(seed=1, worker_crash_rate=1.0, max_crashes_per_worker=3)
+    for worker in range(4):
+        for incarnation in range(3):
+            assert plan.crash_after(worker, incarnation) is not None
+        for incarnation in range(3, 8):
+            assert plan.crash_after(worker, incarnation) is None
+
+
+def test_service_fault_plan_draws_make_progress():
+    """Every crashing incarnation consumes at least one message."""
+    plan = ServiceFaultPlan(seed=2, worker_crash_rate=1.0)
+    for worker in range(8):
+        for scale in (1, 2, 64):
+            draw = plan.crash_after(worker, 0, scale=scale)
+            assert draw is not None and draw >= 1

@@ -380,3 +380,73 @@ def test_out_of_order_events_never_rewind_the_window():
     evaluator.observe_verdict("b", is_malware=False, n_windows=1, ts=10.0)
     assert evaluator.last_values["verdicts"] == 2.0
     assert evaluator.tick(200.0)["verdicts"] == 0.0  # both evict cleanly
+
+
+# -- SlidingWindowSignals straggler clamping ---------------------------
+
+
+def _fill_out_of_order(signals):
+    """A worker-thread arrival order: interleaved stragglers throughout."""
+    entries = [
+        (100.0, True, False, 10, 0, 0),
+        (40.0, False, True, 8, 2, 1),   # straggler, clamped to 100
+        (105.0, True, False, 10, 0, 0),
+        (60.0, False, False, 6, 0, 2),  # straggler, clamped to 105
+        (101.0, True, True, 4, 4, 0),   # behind the tail, clamped to 105
+        (110.0, False, False, 10, 0, 0),
+    ]
+    for ts, alarm, degraded, kept, lost, retries in entries:
+        signals.observe_verdict(
+            ts, is_malware=alarm, degraded=degraded, n_windows=kept,
+            n_windows_lost=lost, retries=retries,
+        )
+        signals.observe_classify(ts, 1e-5, n=kept)
+    return entries
+
+
+def test_monotone_clamps_stragglers_to_the_deque_tail():
+    signals = SlidingWindowSignals(window_s=50.0)
+    _fill_out_of_order(signals)
+    stamps = [entry[0] for entry in signals._verdicts]
+    assert stamps == sorted(stamps), "clamping must keep the deque sorted"
+    assert stamps == [100.0, 100.0, 105.0, 105.0, 105.0, 110.0]
+
+
+def test_out_of_order_timestamps_never_break_eviction():
+    """Eviction pops from the left while expired; an unclamped straggler
+    behind a newer entry would be unreachable and survive forever."""
+    signals = SlidingWindowSignals(window_s=50.0)
+    _fill_out_of_order(signals)
+    # Every entry is inside the window ending at 120.
+    assert signals.values(120.0)["verdicts"] == 6.0
+    # At 159 the entries clamped to <= 105 have expired (cutoff is
+    # inclusive: ts <= now - 50); at 160 the 110 entry goes too —
+    # nothing lingers.
+    assert signals.values(159.0)["verdicts"] == 1.0
+    values = signals.values(160.0)
+    assert values["verdicts"] == 0.0
+    assert not signals._verdicts and not signals._classify
+    assert signals._classify_n == 0 and signals._n_kept == 0
+
+
+def test_windowed_aggregates_match_a_from_scratch_recount():
+    """Incremental eviction totals must equal a fresh accumulation over
+    the clamped entries that survive the same window."""
+    incremental = SlidingWindowSignals(window_s=50.0)
+    _fill_out_of_order(incremental)
+    for now in (120.0, 152.0, 158.0, 161.0):
+        expected = SlidingWindowSignals(window_s=50.0)
+        for entry in incremental._verdicts:  # already clamped, sorted
+            ts, alarm, degraded, kept, lost, retries = entry
+            expected.observe_verdict(
+                ts, is_malware=alarm, degraded=degraded, n_windows=kept,
+                n_windows_lost=lost, retries=retries,
+            )
+        for ts, index, n, total in incremental._classify:
+            expected.observe_classify(ts, total / n, n=n)
+        left = incremental.values(now)
+        right = expected.values(now)
+        for key in left:
+            assert left[key] == right[key] or (
+                math.isnan(left[key]) and math.isnan(right[key])
+            ), f"{key} diverged at now={now}"

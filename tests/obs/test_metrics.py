@@ -296,14 +296,34 @@ def test_snapshot_delta_gauges_take_new_value():
     assert delta["gauges"]["depth"]["value"] == 3
 
 
-def test_snapshot_delta_clamps_producer_restart_to_zero():
+def test_snapshot_delta_treats_counter_regression_as_reset():
+    """A counter that went backwards means the producer restarted and
+    re-accumulated from zero, so everything it counted since the restart
+    is the increment — clamping the delta to zero silently drops it."""
     from repro.obs import snapshot_delta
 
     old = _registry_with(counter=10, hist_obs=(0.5, 0.5)).snapshot()
     new = _registry_with(counter=4, hist_obs=(0.5,)).snapshot()  # restarted
     delta = snapshot_delta(old, new)
-    assert delta["counters"]["jobs_total"]["value"] == 0
-    assert delta["histograms"]["latency"]["counts"] == [0, 0, 0]
+    assert delta["counters"]["jobs_total"]["value"] == 4
+    assert delta["histograms"]["latency"]["counts"] == [1, 0, 0]
+    assert delta["histograms"]["latency"]["count"] == 1
+
+
+def test_snapshot_delta_histogram_reset_detected_per_bucket():
+    """One regressed bucket resets the whole histogram even when the
+    totals kept growing (a restart resets every bucket together)."""
+    from repro.obs import Registry, snapshot_delta
+
+    a = Registry()
+    a.histogram("latency", buckets=(1.0, 2.0)).observe_many(0.5, 5)
+    b = Registry()
+    hist = b.histogram("latency", buckets=(1.0, 2.0))
+    hist.observe_many(1.5, 8)  # count/sum exceed old totals...
+    delta = snapshot_delta(a.snapshot(), b.snapshot())
+    # ...but the first bucket went 5 -> 0, so this is a restart.
+    assert delta["histograms"]["latency"]["counts"] == [0, 8, 0]
+    assert delta["histograms"]["latency"]["count"] == 8
 
 
 def test_snapshot_delta_new_instruments_pass_through():

@@ -82,6 +82,48 @@ def test_trace_follower_handles_in_place_truncation(tmp_path):
     assert [e["name"] for e in follower.poll()] == ["fresh"]
 
 
+def test_trace_follower_truncate_then_regrow_past_old_offset(tmp_path):
+    """An in-place rewrite that ends up *longer* than the old offset has
+    the same inode and a size the stale-offset check accepts — only the
+    head fingerprint can tell the file was replaced.  Resuming mid-file
+    would silently skip the head of the new stream (and usually split a
+    line)."""
+    path = tmp_path / "trace.jsonl"
+    follower = TraceFollower(path)
+    _append(path, '{"name": "a"}\n')
+    assert [e["name"] for e in follower.poll()] == ["a"]
+    path.write_text(
+        '{"name": "replacement-one"}\n'
+        '{"name": "replacement-two"}\n'  # regrown past the old offset
+    )
+    assert [e["name"] for e in follower.poll()] == [
+        "replacement-one",
+        "replacement-two",
+    ]
+
+
+def test_trace_follower_rotation_to_longer_file(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    follower = TraceFollower(path)
+    _append(path, '{"name": "old"}\n')
+    follower.poll()
+    path.rename(tmp_path / "trace.jsonl.1")
+    _append(path, '{"name": "new-1"}\n{"name": "new-2"}\n')
+    assert [e["name"] for e in follower.poll()] == ["new-1", "new-2"]
+
+
+def test_trace_follower_pure_append_is_still_incremental(tmp_path):
+    """Appends must not trip the rewrite detector, even while the file
+    is shorter than the fingerprint and the stored head keeps growing."""
+    path = tmp_path / "trace.jsonl"
+    follower = TraceFollower(path)
+    _append(path, '{"name": "e0"}\n')  # well under the fingerprint size
+    assert [e["name"] for e in follower.poll()] == ["e0"]
+    for i in range(1, 12):  # grows through and past 64 bytes
+        _append(path, '{"name": "e%d"}\n' % i)
+        assert [e["name"] for e in follower.poll()] == [f"e{i}"]
+
+
 # -- MetricsFollower ---------------------------------------------------
 
 
@@ -154,3 +196,22 @@ def test_metrics_follower_rejects_non_object_json(tmp_path):
     follower = MetricsFollower(path)
     assert follower.poll() is None
     assert follower.latest is None
+
+
+def test_metrics_follower_producer_restart_counts_fresh_work(tmp_path):
+    """A restarted producer re-accumulates from zero; its first snapshot
+    after the restart is all new work and must not be dropped."""
+    path = tmp_path / "metrics.json"
+    follower = MetricsFollower(path)
+    registry = Registry()
+    registry.counter("jobs_total").inc(5)
+    registry.histogram("latency", buckets=(1.0,)).observe_many(0.5, 5)
+    _dump_registry(path, registry)
+    follower.poll()
+    restarted = Registry()  # the producer crashed and came back
+    restarted.counter("jobs_total").inc(2)
+    restarted.histogram("latency", buckets=(1.0,)).observe_many(0.5, 2)
+    _dump_registry(path, restarted)
+    delta = follower.poll()
+    assert delta["counters"]["jobs_total"]["value"] == 2
+    assert delta["histograms"]["latency"]["counts"] == [2, 0]

@@ -1,0 +1,277 @@
+"""The streaming service: bit-identity, chaos totality, wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import HMDDetector
+from repro.core.runtime import RuntimeMonitor
+from repro.hpc.counters import CounterCapacityError
+from repro.hpc.faults import ServiceFaultPlan
+from repro.hpc.lxc import ContainerPool
+from repro.obs import HealthEvaluator, Registry, Tracer
+from repro.serve import DetectionService, ServeJob, ServiceReport
+from repro.workloads.benign import BENIGN_FAMILIES
+from repro.workloads.dataset import MALWARE
+from repro.workloads.malware import MALWARE_FAMILIES
+
+POOL_SEED = 5
+N_WINDOWS = 10
+
+
+@pytest.fixture(scope="module")
+def detector4(small_split):
+    return HMDDetector(DetectorConfig("REPTree", "general", 4)).fit(small_split.train)
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    rng = np.random.default_rng(17)
+    jobs = []
+    for family in (BENIGN_FAMILIES + MALWARE_FAMILIES)[::3]:
+        app = family.instantiate(rng)[0]
+        jobs.append(ServeJob(app, N_WINDOWS, family.label == MALWARE))
+    return jobs
+
+
+@pytest.fixture(scope="module")
+def serial_verdicts(detector4, jobs):
+    """What a serial RuntimeMonitor says about the exact same executions."""
+    monitor = RuntimeMonitor(detector4, n_counters=4)
+    return [
+        monitor.monitor(
+            job.app, job.n_windows, ContainerPool(seed=POOL_SEED + i), job.is_malware
+        )
+        for i, job in enumerate(jobs)
+    ]
+
+
+# -- construction ------------------------------------------------------
+
+
+def test_serve_rejects_over_budget_detector(small_split):
+    wide = HMDDetector(DetectorConfig("J48", "general", 16)).fit(small_split.train)
+    with pytest.raises(CounterCapacityError):
+        DetectionService(wide, n_counters=4)
+
+
+def test_serve_rejects_bad_geometry(detector4):
+    with pytest.raises(ValueError):
+        DetectionService(detector4, producers=0)
+    with pytest.raises(ValueError):
+        DetectionService(detector4, workers=0)
+    with pytest.raises(ValueError):
+        DetectionService(detector4, host_vote_windows=0)
+    with pytest.raises(ValueError):
+        DetectionService(detector4, vote_threshold=0.0)
+
+
+def test_serve_job_host_defaults_to_app_name(jobs):
+    assert jobs[0].host_name == jobs[0].app.name
+    named = ServeJob(jobs[0].app, 4, False, host="rack-7")
+    assert named.host_name == "rack-7"
+
+
+# -- bit-identity with serial monitoring -------------------------------
+
+
+def test_serial_geometry_is_bit_identical_to_runtime_monitor(
+    detector4, jobs, serial_verdicts
+):
+    service = DetectionService(
+        detector4, producers=1, workers=1, queue_depth=8, pool_seed=POOL_SEED
+    )
+    report = service.run(jobs)
+    assert list(report.verdicts) == serial_verdicts
+    assert report.n_windows == sum(v.n_windows for v in serial_verdicts)
+    assert report.worker_crashes == 0
+    assert report.recovered_windows == 0
+
+
+@pytest.mark.parametrize("producers,workers", [(2, 1), (1, 3), (3, 2)])
+def test_any_geometry_is_bit_identical(
+    detector4, jobs, serial_verdicts, producers, workers
+):
+    service = DetectionService(
+        detector4,
+        producers=producers,
+        workers=workers,
+        queue_depth=4,
+        pool_seed=POOL_SEED,
+    )
+    report = service.run(jobs)
+    assert list(report.verdicts) == serial_verdicts
+
+
+def test_accepts_plain_tuples(detector4, jobs, serial_verdicts):
+    service = DetectionService(detector4, queue_depth=8, pool_seed=POOL_SEED)
+    report = service.run(
+        [(job.app, job.n_windows, job.is_malware) for job in jobs]
+    )
+    assert list(report.verdicts) == serial_verdicts
+
+
+def test_empty_run(detector4):
+    report = service_report = DetectionService(detector4).run([])
+    assert isinstance(service_report, ServiceReport)
+    assert report.verdicts == ()
+    assert report.n_windows == 0
+
+
+# -- chaos: injected worker crashes ------------------------------------
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_verdicts_total_and_identical_under_worker_crashes(
+    detector4, jobs, serial_verdicts, seed
+):
+    """Exactly one verdict per closed window, bit-identical to serial,
+    regardless of the crash schedule."""
+    plan = ServiceFaultPlan(
+        seed=seed, worker_crash_rate=0.9, max_crashes_per_worker=4
+    )
+    service = DetectionService(
+        detector4,
+        producers=2,
+        workers=2,
+        queue_depth=4,
+        pool_seed=POOL_SEED,
+        faults=plan,
+    )
+    report = service.run(jobs)
+    assert len(report.verdicts) == len(jobs)
+    assert list(report.verdicts) == serial_verdicts
+
+
+def test_chaos_actually_crashes_workers(detector4, jobs):
+    plan = ServiceFaultPlan(seed=0, worker_crash_rate=1.0, max_crashes_per_worker=3)
+    service = DetectionService(
+        detector4, workers=2, queue_depth=4, pool_seed=POOL_SEED, faults=plan
+    )
+    report = service.run(jobs)
+    assert report.worker_crashes > 0
+    assert report.recovered_windows > 0
+
+
+def test_zero_rate_plan_is_a_pristine_run(detector4, jobs, serial_verdicts):
+    service = DetectionService(
+        detector4,
+        pool_seed=POOL_SEED,
+        faults=ServiceFaultPlan(seed=9, worker_crash_rate=0.0),
+    )
+    report = service.run(jobs)
+    assert report.worker_crashes == 0
+    assert list(report.verdicts) == serial_verdicts
+
+
+# -- backpressure ------------------------------------------------------
+
+
+def test_tiny_queue_backpressures_but_stays_correct(
+    detector4, jobs, serial_verdicts
+):
+    service = DetectionService(
+        detector4, producers=3, workers=1, queue_depth=1, pool_seed=POOL_SEED
+    )
+    report = service.run(jobs)
+    assert list(report.verdicts) == serial_verdicts
+    assert report.backpressure_waits > 0
+
+
+# -- per-host sliding vote window --------------------------------------
+
+
+def test_host_vote_window_alerts_on_persistently_flagged_host(detector4):
+    rng = np.random.default_rng(23)
+    malware_family = MALWARE_FAMILIES[0]
+    app = malware_family.instantiate(rng)[0]
+    rounds = 4
+    service = DetectionService(
+        detector4,
+        producers=1,
+        workers=1,
+        queue_depth=8,
+        pool_seed=POOL_SEED,
+        host_vote_windows=2 * N_WINDOWS,
+    )
+    report = service.run(
+        [ServeJob(app, N_WINDOWS, True) for _ in range(rounds)]
+    )
+    # Detected executions keep the host's window hot: once the window
+    # fills (after round 2) every further verdict re-evaluates it.
+    if all(v.is_malware for v in report.verdicts):
+        assert report.alerts, "persistently flagged host never alerted"
+        for alert in report.alerts:
+            assert alert["host"] == app.name
+            assert alert["windows"] == 2 * N_WINDOWS
+            assert alert["fraction"] >= service.vote_threshold
+
+
+def test_benign_host_never_alerts(detector4):
+    rng = np.random.default_rng(29)
+    app = BENIGN_FAMILIES[0].instantiate(rng)[0]
+    service = DetectionService(
+        detector4, pool_seed=POOL_SEED, host_vote_windows=N_WINDOWS
+    )
+    report = service.run([ServeJob(app, N_WINDOWS, False) for _ in range(3)])
+    if not any(v.is_malware for v in report.verdicts):
+        assert report.alerts == ()
+
+
+# -- observability wiring ----------------------------------------------
+
+
+def test_serve_emits_trace_events_and_metrics(detector4, jobs):
+    tracer = Tracer(enabled=True)
+    metrics = Registry()
+    plan = ServiceFaultPlan(seed=1, worker_crash_rate=1.0, max_crashes_per_worker=2)
+    service = DetectionService(
+        detector4,
+        producers=2,
+        workers=2,
+        queue_depth=4,
+        pool_seed=POOL_SEED,
+        faults=plan,
+        tracer=tracer,
+        metrics=metrics,
+    )
+    report = service.run(jobs)
+    events = [e for e in tracer.drain() if e.get("type") == "event"]
+    verdict_events = [e for e in events if e["name"] == "serve.verdict"]
+    crash_events = [e for e in events if e["name"] == "serve.worker_crash"]
+    assert len(verdict_events) == len(jobs)
+    assert sorted(e["attrs"]["index"] for e in verdict_events) == list(
+        range(len(jobs))
+    )
+    assert len(crash_events) == report.worker_crashes
+    snapshot = metrics.snapshot()
+    counters = snapshot["counters"]
+    assert counters["serve_executions_total"]["value"] == len(jobs)
+    assert counters["serve_windows_total"]["value"] == report.n_windows
+    assert counters["serve_worker_crashes_total"]["value"] == report.worker_crashes
+    assert (
+        counters["serve_recovered_windows_total"]["value"]
+        == report.recovered_windows
+    )
+    histogram = snapshot["histograms"]["serve_window_classify_seconds"]
+    assert histogram["count"] == report.n_windows
+
+
+def test_serve_feeds_health_evaluator(detector4, jobs):
+    health = HealthEvaluator()
+    service = DetectionService(detector4, pool_seed=POOL_SEED, health=health)
+    report = service.run(jobs)
+    values = health.window.values(health.clock())
+    assert values["verdicts"] == len(jobs)
+    assert report.n_windows > 0
+
+
+# -- the report --------------------------------------------------------
+
+
+def test_report_throughput(detector4, jobs):
+    report = DetectionService(detector4, pool_seed=POOL_SEED).run(jobs)
+    assert report.wall_seconds > 0
+    assert report.windows_per_second == pytest.approx(
+        report.n_windows / report.wall_seconds
+    )
