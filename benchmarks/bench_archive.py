@@ -1,0 +1,232 @@
+"""Archive throughput: trace ingest MB/s, roll-up query latency, and
+replay speed against the live service.
+
+Three numbers gate ``repro.obs.archive`` as the fleet's historical
+store:
+
+1. Ingest rate — MB/s of raw JSONL trace (plus metrics snapshots)
+   through :meth:`Archive.ingest_trace` into columnar segments, and
+   the idempotency guarantee that a second pass over the same runs is
+   a pure no-op (content-addressed segments, no duplicates).
+2. Query latency — seconds for :func:`fleet_report_data` to roll up
+   detection-rate trends, alert frequencies, and exact merged latency
+   quantiles across every archived run, with round-trip fidelity
+   asserted against the generated traffic (no row lost or invented).
+3. Replay speed — how much faster than the archived wall clock the
+   PR-6 :class:`DetectionService` re-drives an archived serve run,
+   with every replayed verdict bit-identical to the archive.
+
+``REPRO_BENCH_QUICK=1`` shrinks the simulated fleet and the replay
+workload for CI smoke runs.  Results land in ``BENCH_archive.json``
+(cwd, or ``$REPRO_BENCH_DIR``) so CI can track the trajectory.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.obs import Registry, Tracer
+from repro.obs.archive import Archive
+from repro.obs.rollup import fleet_report_data
+from repro.serve import DetectionService
+from repro.serve.replay import build_serve_workload, replay_segment, serve_run_meta
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+#: Simulated fleet history: one archived run per day per batch.
+N_DAYS = 2 if QUICK else 5
+N_HOSTS = 4 if QUICK else 10
+VERDICTS_PER_HOST = 40 if QUICK else 400
+DAY_SECONDS = 86_400.0
+QUERY_ROUNDS = 3 if QUICK else 10
+
+REPLAY_META = serve_run_meta(
+    seed=11, windows=6 if QUICK else 40, split_seed=7,
+    classifier="REPTree", ensemble="general", hpcs=4, counters=4,
+    vote_threshold=0.5, stride=7 if QUICK else 1,
+    rounds=1 if QUICK else 3, host_vote_windows=4,
+    producers=1, workers=1, queue_depth=16,
+)
+REPLAY_REPEAT = 2 if QUICK else 4
+#: The service's wall clock is noisy at bench scale; keep the best trial.
+REPLAY_TRIALS = 1 if QUICK else 3
+
+
+def _bench_out_path():
+    return Path(os.environ.get("REPRO_BENCH_DIR", ".")) / "BENCH_archive.json"
+
+
+def _simulated_run(day: int) -> tuple[list[dict], dict]:
+    """One day's trace events + metrics snapshot for the whole fleet."""
+    base = day * DAY_SECONDS
+    events: list[dict] = [
+        {"type": "span", "name": "serve.run", "ts": base,
+         "dur": N_HOSTS * VERDICTS_PER_HOST * 0.01, "pid": 1, "tid": 1}
+    ]
+    registry = Registry()
+    classify = registry.histogram(
+        "serve_window_classify_seconds",
+        buckets=(0.0005, 0.001, 0.0015, 0.002, 0.005),
+    )
+    index = 0
+    for host in range(N_HOSTS):
+        for i in range(VERDICTS_PER_HOST):
+            malware = (host + i + day) % 3 == 0
+            events.append(
+                {
+                    "type": "event", "name": "serve.verdict",
+                    "ts": base + index * 0.01, "pid": 1, "tid": 1,
+                    "attrs": {
+                        "index": index, "host": f"host-{host:02d}",
+                        "app": f"app-{i % 7}", "is_malware": malware,
+                        "malware_fraction": 0.8 if malware else 0.1,
+                        "n_windows": 10, "n_windows_lost": int(i % 17 == 0),
+                        "degraded": i % 17 == 0,
+                        "detection_latency_windows": 3 if malware else None,
+                    },
+                }
+            )
+            classify.observe(0.0004 + 0.0002 * ((host + i) % 9))
+            index += 1
+        events.append(
+            {
+                "type": "event", "name": "health.alert",
+                "ts": base + index * 0.01, "pid": 1, "tid": 1,
+                "attrs": {
+                    "rule": "degraded_ratio", "severity": "critical",
+                    "state": "firing" if day % 2 == 0 else "cleared",
+                    "value": 0.25,
+                },
+            }
+        )
+    registry.counter("serve_verdicts_total").inc(index)
+    return events, registry.snapshot()
+
+
+def _write_runs(root: Path) -> tuple[list[tuple[Path, Path]], int, int, int]:
+    """Dump each simulated run as (trace.jsonl, metrics.json) files."""
+    runs = []
+    n_verdicts = n_alerts = total_bytes = 0
+    for day in range(N_DAYS):
+        events, snapshot = _simulated_run(day)
+        trace = root / f"day{day}.jsonl"
+        metrics = root / f"day{day}-metrics.json"
+        trace.write_text("".join(json.dumps(e) + "\n" for e in events))
+        metrics.write_text(json.dumps(snapshot))
+        runs.append((trace, metrics))
+        n_verdicts += sum(
+            1 for e in events if e.get("name") == "serve.verdict"
+        )
+        n_alerts += sum(1 for e in events if e.get("name") == "health.alert")
+        total_bytes += trace.stat().st_size + metrics.stat().st_size
+    return runs, n_verdicts, n_alerts, total_bytes
+
+
+def test_archive_ingest_query_replay(benchmark, tmp_path):
+    runs, n_verdicts, n_alerts, total_bytes = _write_runs(tmp_path)
+    archive = Archive(tmp_path / "fleet-archive")
+
+    # 1. ingest: JSONL -> columnar segments, then prove idempotency.
+    start = time.perf_counter()
+    results = [
+        archive.ingest_trace(trace, metrics_path=metrics, source="serve")
+        for trace, metrics in runs
+    ]
+    ingest_seconds = time.perf_counter() - start
+    assert all(r.ingested for r in results)
+    assert sum(r.n_verdicts for r in results) == n_verdicts
+    second_pass = [
+        archive.ingest_trace(trace, metrics_path=metrics, source="serve")
+        for trace, metrics in runs
+    ]
+    assert not any(r.ingested for r in second_pass), "re-ingest must no-op"
+    assert len(archive) == N_DAYS
+    ingest_mb_per_second = total_bytes / 1e6 / ingest_seconds
+
+    # 2. query: full-archive roll-up, with round-trip fidelity pinned.
+    query_seconds = min(
+        _timed(lambda: fleet_report_data(archive)) for _ in range(QUERY_ROUNDS)
+    )
+    report = fleet_report_data(archive)
+    assert report["verdicts"] == n_verdicts, "roll-up lost or invented rows"
+    assert report["alerts"] == n_alerts
+    assert len(report["hosts"]) == N_HOSTS
+    assert len(report["detection_rate_trend"]) == N_DAYS * N_HOSTS
+    quantiles = report["latency_quantiles"]["serve_window_classify_seconds"]
+    assert quantiles["count"] == n_verdicts
+    benchmark.pedantic(lambda: fleet_report_data(archive), rounds=1, iterations=1)
+
+    # 3. replay: archive a real serve run, then re-drive it faster.
+    detector, jobs = build_serve_workload(REPLAY_META)
+    tracer = Tracer()
+    service = DetectionService(
+        detector,
+        producers=REPLAY_META["producers"], workers=REPLAY_META["workers"],
+        queue_depth=REPLAY_META["queue_depth"],
+        n_counters=REPLAY_META["counters"],
+        vote_threshold=REPLAY_META["vote_threshold"],
+        host_vote_windows=REPLAY_META["host_vote_windows"],
+        pool_seed=REPLAY_META["seed"] + 99,
+        tracer=tracer,
+    )
+    service.run(jobs)
+    archive.ingest_events(
+        tracer.events, run_meta=REPLAY_META, source="serve", run_id="replay-src"
+    )
+    replay = max(
+        (
+            replay_segment(archive, repeat=REPLAY_REPEAT)
+            for _ in range(REPLAY_TRIALS)
+        ),
+        key=lambda r: r.speedup,
+    )
+    assert replay.matched == REPLAY_REPEAT * len(jobs), "replay diverged"
+
+    print()
+    print(
+        f"ingest: {ingest_mb_per_second:.1f} MB/s over {N_DAYS} runs "
+        f"({n_verdicts:,} verdicts, {total_bytes / 1e6:.2f} MB raw)"
+    )
+    print(
+        f"query:  {query_seconds * 1e3:.1f} ms full-archive fleet report"
+    )
+    print(
+        f"replay: {replay.speedup:.1f}x archived wall "
+        f"({replay.windows_per_second:,.0f} windows/s, "
+        f"{replay.matched} verdicts bit-identical)"
+    )
+
+    out = _bench_out_path()
+    out.write_text(
+        json.dumps(
+            {
+                "bench": "archive",
+                "quick": QUICK,
+                "n_runs": N_DAYS,
+                "n_verdicts": n_verdicts,
+                "n_alerts": n_alerts,
+                "raw_bytes": total_bytes,
+                "ingest_seconds": ingest_seconds,
+                "ingest_mb_per_second": ingest_mb_per_second,
+                "query_seconds": query_seconds,
+                "replay": {
+                    "repeat": replay.repeat,
+                    "executions": replay.executions,
+                    "matched": replay.matched,
+                    "archived_seconds": replay.archived_seconds,
+                    "replay_seconds": replay.replay_seconds,
+                    "speedup": replay.speedup,
+                    "windows_per_second": replay.windows_per_second,
+                },
+            },
+            indent=1,
+        )
+    )
+    print(f"wrote {out}")
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start

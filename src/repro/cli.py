@@ -15,6 +15,8 @@ Installed as ``repro-hmd``.  Subcommands:
 * ``evasion``  — malware recall vs evasion strength.
 * ``stats``    — summarize trace/metrics files from a previous run.
 * ``watch``    — live health monitoring over a trace/metrics pair.
+* ``report``   — fleet-wide roll-ups over the historical verdict archive.
+* ``replay``   — re-drive the detection service from archived traffic.
 
 ``matrix``/``hardware``/``monitor``/``fleet``/``serve``/``crossval``
 accept ``--trace-out PATH`` (JSONL span/event trace) and
@@ -25,6 +27,9 @@ accept ``--trace-out PATH`` (JSONL span/event trace) and
 health in-process and write a final health report; ``watch`` follows
 the files of a live (or finished, with ``--once``) run and exits
 non-zero when a critical alert fired.
+``fleet``/``serve`` accept ``--archive-dir DIR`` to rotate the finished
+run into the content-addressed fleet archive that ``report`` queries
+and ``replay`` re-drives.
 """
 
 from __future__ import annotations
@@ -61,6 +66,8 @@ from repro.features import rank_features
 from repro.hpc import ContainerPool, FaultPlan, ServiceFaultPlan
 from repro.ml import app_level_split
 from repro.obs import (
+    Archive,
+    ArchiveError,
     HealthConfigError,
     HealthEvaluator,
     MatrixProgressSink,
@@ -72,6 +79,8 @@ from repro.obs import (
     health_table,
     load_alert_rules,
     load_metrics,
+    fleet_report,
+    fleet_report_data,
     load_trace,
     merge_snapshots,
     metrics_table,
@@ -79,7 +88,7 @@ from repro.obs import (
     parse_slo,
     span_table,
 )
-from repro.serve import DetectionService, ServeJob
+from repro.serve import DetectionService, ServeJob, replay_segment, serve_run_meta
 from repro.workloads import BENIGN_FAMILIES, MALWARE_FAMILIES, default_corpus
 from repro.workloads.dataset import MALWARE
 
@@ -253,10 +262,15 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _make_obs(args: argparse.Namespace) -> tuple[Tracer, Registry]:
-    """Tracer/registry for this invocation — enabled only when asked."""
+    """Tracer/registry for this invocation — enabled only when asked.
+
+    ``--archive-dir`` also enables both: the archive ingests this run's
+    trace events and metrics snapshot, so archiving implies observing.
+    """
+    archiving = bool(getattr(args, "archive_dir", None))
     return (
-        Tracer(enabled=bool(args.trace_out)),
-        Registry(enabled=bool(args.metrics_out)),
+        Tracer(enabled=bool(args.trace_out) or archiving),
+        Registry(enabled=bool(args.metrics_out) or archiving),
     )
 
 
@@ -267,6 +281,44 @@ def _dump_obs(args: argparse.Namespace, tracer: Tracer, metrics: Registry) -> No
     if args.metrics_out:
         metrics.dump(args.metrics_out)
         print(f"wrote metrics {args.metrics_out}", file=sys.stderr)
+
+
+def _add_archive_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--archive-dir", default=None, metavar="DIR",
+        help="archive this run's verdicts/alerts/spans and metrics into "
+        "the fleet history at DIR (query with: repro-hmd report)",
+    )
+
+
+def _archive_run(
+    args: argparse.Namespace, tracer: Tracer, metrics: Registry, run_meta: dict
+) -> None:
+    """Ingest the finished run into the fleet archive when asked.
+
+    The segment is content-addressed, so re-running the identical
+    workload archives a new segment only if its records differ (the
+    timestamps will), while re-ingesting this run's own ``--trace-out``
+    file later is a no-op.
+    """
+    if not args.archive_dir:
+        return
+    try:
+        result = Archive(args.archive_dir).ingest_events(
+            tracer.events,
+            metrics=metrics.snapshot(),
+            run_meta=run_meta,
+            run_id=args.trace_out,
+            source=run_meta.get("command", "trace"),
+        )
+    except (OSError, ArchiveError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    print(
+        f"archived segment {result.segment_id[:12]} "
+        f"({result.n_verdicts} verdicts, {result.n_alerts} alerts)"
+        + ("" if result.ingested else " [already archived]"),
+        file=sys.stderr,
+    )
 
 
 def _alert_spec(text: str) -> object:
@@ -539,6 +591,24 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     )
     _finish_health(args, health)
     _dump_obs(args, tracer, metrics)
+    _archive_run(
+        args, tracer, metrics,
+        {
+            "command": "fleet",
+            "seed": args.seed,
+            "windows": args.windows,
+            "split_seed": args.split_seed,
+            "classifier": args.classifier,
+            "ensemble": args.ensemble,
+            "hpcs": args.hpcs,
+            "counters": args.counters,
+            "vote_threshold": args.vote_threshold,
+            "stride": args.stride,
+            "workers": args.fleet_workers,
+            "retries": args.retries,
+            "faulted": args.faults is not None,
+        },
+    )
     return 0
 
 
@@ -617,6 +687,25 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     _finish_health(args, health)
     _dump_obs(args, tracer, metrics)
+    _archive_run(
+        args, tracer, metrics,
+        serve_run_meta(
+            seed=args.seed,
+            windows=args.windows,
+            split_seed=args.split_seed,
+            classifier=args.classifier,
+            ensemble=args.ensemble,
+            hpcs=args.hpcs,
+            counters=args.counters,
+            vote_threshold=args.vote_threshold,
+            stride=args.stride,
+            rounds=args.rounds,
+            host_vote_windows=args.host_vote_windows,
+            producers=args.producers,
+            workers=args.serve_workers,
+            queue_depth=args.queue_depth,
+        ),
+    )
     return 0
 
 
@@ -668,22 +757,108 @@ def cmd_crossval(args: argparse.Namespace) -> int:
 def cmd_stats(args: argparse.Namespace) -> int:
     """Summarize trace/metrics files written by --trace-out/--metrics-out.
 
-    ``--metrics`` accepts several files (e.g. one snapshot per worker);
-    they are merged with the exact histogram merge before rendering, so
-    the table reads as one run.
+    ``--trace`` and ``--metrics`` both accept several files (e.g. one
+    per worker, or a rotated series).  Traces are concatenated and
+    sorted by event timestamp, metrics are merged with the exact
+    histogram merge, so either way the tables read as one run.
     """
     if not args.trace and not args.metrics:
         raise SystemExit("error: stats needs --trace and/or --metrics")
     sections = []
     try:
         if args.trace:
-            sections.append(span_table(load_trace(args.trace)))
+            events = [
+                event for path in args.trace for event in load_trace(path)
+            ]
+            events.sort(key=lambda event: float(event.get("ts", 0.0)))
+            sections.append(span_table(events))
         if args.metrics:
             snapshot = merge_snapshots(load_metrics(path) for path in args.metrics)
             sections.append(metrics_table(snapshot))
     except (OSError, ValueError, MetricsError) as exc:
         raise SystemExit(f"error: {exc}") from exc
     print("\n\n".join(sections))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Fleet-wide roll-ups over the archive; optionally ingest first.
+
+    ``--ingest`` rotates ``--trace-out`` JSONL files (with optional
+    paired ``--ingest-metrics`` snapshots, same order) into the archive
+    before querying — re-ingesting an already-archived run is a no-op.
+    ``--json`` emits the machine-readable report for CI gates.
+    """
+    import json as json_mod
+
+    try:
+        archive = Archive(args.archive_dir)
+        for i, trace_path in enumerate(args.ingest or []):
+            metrics_path = (
+                args.ingest_metrics[i]
+                if args.ingest_metrics and i < len(args.ingest_metrics)
+                else None
+            )
+            result = archive.ingest_trace(
+                trace_path, metrics_path, run_id=trace_path
+            )
+            print(
+                f"ingested {trace_path} -> segment {result.segment_id[:12]} "
+                f"({result.n_verdicts} verdicts)"
+                + ("" if result.ingested else " [already archived]"),
+                file=sys.stderr,
+            )
+        hosts = tuple(args.host) if args.host else None
+        sources = tuple(args.source) if args.source else None
+        if args.json:
+            data = fleet_report_data(
+                archive, hosts=hosts, sources=sources,
+                since=args.since, until=args.until, bucket_s=args.bucket,
+            )
+            print(json_mod.dumps(data, indent=1, sort_keys=True))
+        else:
+            print(
+                fleet_report(
+                    archive, hosts=hosts, sources=sources,
+                    since=args.since, until=args.until, bucket_s=args.bucket,
+                )
+            )
+    except (OSError, ValueError, ArchiveError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Re-drive the detection service from an archived segment.
+
+    At ``--repeat 1`` this is the archive's end-to-end integrity check
+    (every replayed verdict is asserted bit-identical to the archived
+    record); higher repeats answer capacity questions — how many times
+    the archived traffic the chosen geometry sustains per unit time.
+    """
+    try:
+        archive = Archive(args.archive_dir)
+        result = replay_segment(
+            archive,
+            segment_id=args.segment,
+            repeat=args.repeat,
+            producers=args.producers,
+            workers=args.serve_workers,
+            queue_depth=args.queue_depth,
+        )
+    except (OSError, ValueError, ArchiveError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    print(
+        f"replayed segment {result.segment_id[:12]} x{result.repeat}: "
+        f"{result.executions} executions, {result.n_windows} windows, "
+        f"{result.matched} verdicts matched bit-identical\n"
+        f"geometry: {result.producers} producers x {result.workers} workers "
+        f"(queue depth {result.queue_depth})\n"
+        f"archived wall: {result.archived_seconds:.3f}s  "
+        f"replay wall: {result.replay_seconds:.3f}s  "
+        f"speed: {result.speedup:.2f}x archived traffic "
+        f"({result.windows_per_second:.0f} windows/s)"
+    )
     return 0
 
 
@@ -861,6 +1036,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max attempts per application on transient faults")
     _add_obs_args(p)
     _add_health_args(p)
+    _add_archive_args(p)
     p.set_defaults(func=cmd_fleet)
 
     p = sub.add_parser(
@@ -894,6 +1070,7 @@ def build_parser() -> argparse.ArgumentParser:
                    "crash=0.5,max=3 (omit for a pristine run)")
     _add_obs_args(p)
     _add_health_args(p)
+    _add_archive_args(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("verilog", help="emit RTL for a trained detector")
@@ -919,12 +1096,61 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "stats", help="summarize trace/metrics files from a previous run"
     )
-    p.add_argument("--trace", metavar="PATH",
-                   help="JSONL trace written by --trace-out")
+    p.add_argument("--trace", metavar="PATH", nargs="+",
+                   help="JSONL trace(s) written by --trace-out; several "
+                   "(e.g. per-worker or rotated) files merge sorted by "
+                   "event timestamp")
     p.add_argument("--metrics", metavar="PATH", nargs="+",
                    help="JSON metrics snapshot(s) written by --metrics-out; "
                    "several (e.g. per-worker) files merge exactly")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "report", help="fleet-wide roll-ups over the verdict archive"
+    )
+    p.add_argument("--archive-dir", required=True, metavar="DIR",
+                   help="fleet archive directory (written by "
+                   "serve/fleet --archive-dir or report --ingest)")
+    p.add_argument("--ingest", metavar="TRACE", nargs="+",
+                   help="rotate these --trace-out JSONL files into the "
+                   "archive before reporting (idempotent)")
+    p.add_argument("--ingest-metrics", metavar="SNAPSHOT", nargs="+",
+                   help="--metrics-out snapshots paired with --ingest "
+                   "traces, same order")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report (CI gate)")
+    p.add_argument("--host", action="append", metavar="NAME",
+                   help="restrict to this host (repeatable)")
+    p.add_argument("--source", action="append", metavar="NAME",
+                   choices=("serve", "fleet", "monitor", "trace"),
+                   help="restrict to segments from this source (repeatable)")
+    p.add_argument("--since", type=float, default=None, metavar="UNIX_TS",
+                   help="only events at or after this unix timestamp")
+    p.add_argument("--until", type=float, default=None, metavar="UNIX_TS",
+                   help="only events at or before this unix timestamp")
+    p.add_argument("--bucket", type=float, default=86400.0, metavar="SECONDS",
+                   help="trend bucket width (default 86400 = 1 day)")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "replay", help="re-drive the detection service from archived traffic"
+    )
+    p.add_argument("--archive-dir", required=True, metavar="DIR",
+                   help="fleet archive directory holding the segment")
+    p.add_argument("--segment", default=None, metavar="ID",
+                   help="segment id or unique prefix (default: the most "
+                   "recently archived serve run)")
+    p.add_argument("--repeat", type=_positive_int, default=1,
+                   help="stream the archived workload this many times "
+                   "back-to-back (capacity planning; default 1)")
+    p.add_argument("--producers", type=_positive_int, default=None,
+                   help="override the archived producer count")
+    p.add_argument("--serve-workers", type=_positive_int, default=None,
+                   metavar="N", dest="serve_workers",
+                   help="override the archived worker count")
+    p.add_argument("--queue-depth", type=_positive_int, default=None,
+                   help="override the archived queue depth")
+    p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser(
         "watch", help="live health monitoring over a trace/metrics pair"

@@ -399,6 +399,7 @@ class FleetMonitor:
         self.tracer.event(
             "fleet.verdict",
             app=job.app.name,
+            host=job.app.name,
             index=index,
             is_malware=verdict.is_malware,
             malware_fraction=verdict.malware_fraction,

@@ -1,6 +1,6 @@
 """repro.obs — zero-dependency observability for the evaluation pipeline.
 
-Five pieces, all free when disabled:
+Six pieces, all free when disabled:
 
 * :mod:`repro.obs.trace` — span-based :class:`Tracer` (context-manager
   API, monotonic durations, parent/child nesting, per-worker buffers)
@@ -15,6 +15,11 @@ Five pieces, all free when disabled:
 * :mod:`repro.obs.health` — sliding-window signals, declarative alert
   rules, and SLO/error-budget tracking behind ``repro-hmd watch`` and
   the monitors' in-process ``health=`` hook.
+* :mod:`repro.obs.archive` / :mod:`repro.obs.rollup` — the fleet
+  history: per-run traces ingested into content-addressed columnar
+  segments, and cross-run roll-up queries (detection-rate trends, alert
+  frequency, exact merged latency percentiles) behind
+  ``repro-hmd report``.
 
 Instrumented components (``MatrixRunner``, ``ResultCache``,
 ``RuntimeMonitor``, ``FleetMonitor``, the CLI) default to the shared
@@ -23,6 +28,17 @@ instrumentation costs one attribute check unless a run opts in with
 ``--trace-out`` / ``--metrics-out`` / ``--health-out``.
 """
 
+from repro.obs.archive import (
+    ARCHIVE_SCHEMA_VERSION,
+    Archive,
+    ArchiveError,
+    ArchiveSink,
+    IngestResult,
+    SegmentData,
+    normalize_events,
+    normalize_metrics,
+    segment_content_id,
+)
 from repro.obs.health import (
     HEALTH_SCHEMA_VERSION,
     SEVERITIES,
@@ -51,6 +67,18 @@ from repro.obs.metrics import (
     merge_snapshots,
     snapshot_delta,
 )
+from repro.obs.rollup import (
+    AlertFrame,
+    VerdictFrame,
+    alert_frequency,
+    detection_rate_trend,
+    fleet_report,
+    fleet_report_data,
+    latency_quantiles,
+    load_frames,
+    merged_metrics,
+    select_segments,
+)
 from repro.obs.sink import MatrixProgressSink
 from repro.obs.stats import (
     SpanStat,
@@ -72,6 +100,11 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "ARCHIVE_SCHEMA_VERSION",
+    "Archive",
+    "ArchiveError",
+    "ArchiveSink",
+    "AlertFrame",
     "DEFAULT_LATENCY_BUCKETS",
     "FAST_LATENCY_BUCKETS",
     "HEALTH_SCHEMA_VERSION",
@@ -89,26 +122,40 @@ __all__ = [
     "HealthConfigError",
     "HealthEvaluator",
     "Histogram",
+    "IngestResult",
     "MatrixProgressSink",
     "MetricsError",
     "MetricsFollower",
     "Registry",
     "SLO",
+    "SegmentData",
     "SlidingWindowSignals",
     "Span",
     "SpanStat",
     "Tracer",
     "TraceFollower",
+    "VerdictFrame",
     "aggregate_spans",
+    "alert_frequency",
+    "detection_rate_trend",
+    "fleet_report",
+    "fleet_report_data",
     "health_table",
     "histogram_quantile",
+    "latency_quantiles",
     "load_alert_rules",
+    "load_frames",
     "load_metrics",
     "load_trace",
     "merge_snapshots",
+    "merged_metrics",
     "metrics_table",
+    "normalize_events",
+    "normalize_metrics",
     "parse_alert_spec",
     "parse_slo",
+    "segment_content_id",
+    "select_segments",
     "snapshot_delta",
     "span_table",
     "toplevel_wall_seconds",

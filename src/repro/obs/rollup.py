@@ -1,0 +1,429 @@
+"""Cross-run roll-up queries and report rendering over the fleet archive.
+
+Consumes the columnar segments :mod:`repro.obs.archive` writes and
+answers the questions a fleet is operated by: how the detection rate and
+degraded-verdict rate trend per host over time, how often each alert
+rule fired, and what the merged classify-latency percentiles were across
+every archived run.  Histogram percentiles reuse the exact fixed-bucket
+merge semantics of :func:`repro.obs.metrics.merge_snapshots` and
+:func:`repro.obs.stats.histogram_quantile`, so a roll-up over N archived
+runs reports the same quantiles as merging those runs' raw
+``--metrics-out`` snapshots directly.
+
+``repro-hmd report`` renders :func:`fleet_report` (human tables) or
+:func:`fleet_report_data` (``--json`` machine output, usable as a CI
+gate).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.archive import Archive, SegmentData
+from repro.obs.metrics import merge_snapshots
+from repro.obs.stats import histogram_quantile
+
+#: Default trend bucket: one day of wall time.
+DAY_SECONDS = 86_400.0
+
+#: Quantiles the fleet report renders for every latency histogram.
+REPORT_QUANTILES = (0.50, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class VerdictFrame:
+    """Concatenated verdict columns across selected segments.
+
+    ``host``/``app``/``source`` are resolved to string arrays (dtype
+    object), everything else keeps its columnar numeric dtype.
+    """
+
+    ts: np.ndarray
+    host: np.ndarray
+    app: np.ndarray
+    source: np.ndarray
+    execution: np.ndarray
+    flag: np.ndarray
+    degraded: np.ndarray
+    fraction: np.ndarray
+    n_windows: np.ndarray
+    n_lost: np.ndarray
+    latency: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.ts.size)
+
+
+@dataclass(frozen=True)
+class AlertFrame:
+    """Concatenated alert columns across selected segments."""
+
+    ts: np.ndarray
+    rule: np.ndarray
+    host: np.ndarray
+    severity: np.ndarray
+    state: np.ndarray
+    value: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.ts.size)
+
+
+def _empty_str(n: int = 0) -> np.ndarray:
+    return np.zeros(n, dtype=object)
+
+
+def _segment_verdicts(segment: SegmentData) -> dict[str, np.ndarray]:
+    v = segment.verdicts
+    return {
+        "ts": v["ts"],
+        "host": segment.resolve(v["host"]),
+        "app": segment.resolve(v["app"]),
+        "source": segment.resolve(v["source"]),
+        "execution": v["execution"],
+        "flag": v["flag"],
+        "degraded": v["degraded"],
+        "fraction": v["fraction"],
+        "n_windows": v["windows"],
+        "n_lost": v["lost"],
+        "latency": v["latency"],
+    }
+
+
+def _segment_alerts(segment: SegmentData) -> dict[str, np.ndarray]:
+    a = segment.alerts
+    return {
+        "ts": a["ts"],
+        "rule": segment.resolve(a["rule"]),
+        "host": segment.resolve(a["host"]),
+        "severity": segment.resolve(a["severity"]),
+        "state": segment.resolve(a["state"]),
+        "value": a["value"],
+    }
+
+
+def select_segments(
+    archive: Archive,
+    sources: tuple[str, ...] | None = None,
+    since: float | None = None,
+    until: float | None = None,
+) -> list[dict]:
+    """Manifest entries overlapping the filter, in ingestion order.
+
+    ``since``/``until`` filter on the segment's recorded event time
+    range (entries without timestamps are kept — an empty segment can
+    never contribute rows anyway).
+    """
+    selected = []
+    for entry in archive.segments():
+        if sources is not None and entry.get("source") not in sources:
+            continue
+        ts_min, ts_max = entry.get("ts_min"), entry.get("ts_max")
+        if since is not None and ts_max is not None and ts_max < since:
+            continue
+        if until is not None and ts_min is not None and ts_min > until:
+            continue
+        selected.append(entry)
+    return selected
+
+
+def load_frames(
+    archive: Archive,
+    hosts: tuple[str, ...] | None = None,
+    sources: tuple[str, ...] | None = None,
+    since: float | None = None,
+    until: float | None = None,
+) -> tuple[VerdictFrame, AlertFrame]:
+    """Concatenate selected segments into verdict and alert frames.
+
+    Row-level filters (``hosts``, ``since``/``until``) apply after the
+    segment-level selection, so a segment spanning the boundary
+    contributes only its in-range rows.
+    """
+    v_cols: dict[str, list[np.ndarray]] = {}
+    a_cols: dict[str, list[np.ndarray]] = {}
+    for entry in select_segments(archive, sources=sources, since=since, until=until):
+        segment = archive.load_segment(entry)
+        v = _segment_verdicts(segment)
+        keep = np.ones(v["ts"].size, dtype=bool)
+        if hosts is not None:
+            keep &= np.isin(v["host"].astype(str), hosts)
+        if since is not None:
+            keep &= v["ts"] >= since
+        if until is not None:
+            keep &= v["ts"] <= until
+        for key, col in v.items():
+            v_cols.setdefault(key, []).append(col[keep])
+        a = _segment_alerts(segment)
+        a_keep = np.ones(a["ts"].size, dtype=bool)
+        if hosts is not None:
+            a_keep &= np.isin(a["host"].astype(str), hosts + ("*",))
+        if since is not None:
+            a_keep &= a["ts"] >= since
+        if until is not None:
+            a_keep &= a["ts"] <= until
+        for key, col in a.items():
+            a_cols.setdefault(key, []).append(col[a_keep])
+
+    def _cat(cols: dict, key: str, str_col: bool) -> np.ndarray:
+        parts = cols.get(key, [])
+        if not parts:
+            return _empty_str() if str_col else np.zeros(0)
+        return np.concatenate([np.asarray(p, dtype=object) for p in parts]) \
+            if str_col else np.concatenate(parts)
+
+    verdicts = VerdictFrame(
+        ts=_cat(v_cols, "ts", False),
+        host=_cat(v_cols, "host", True),
+        app=_cat(v_cols, "app", True),
+        source=_cat(v_cols, "source", True),
+        execution=_cat(v_cols, "execution", False),
+        flag=_cat(v_cols, "flag", False),
+        degraded=_cat(v_cols, "degraded", False),
+        fraction=_cat(v_cols, "fraction", False),
+        n_windows=_cat(v_cols, "n_windows", False),
+        n_lost=_cat(v_cols, "n_lost", False),
+        latency=_cat(v_cols, "latency", False),
+    )
+    alerts = AlertFrame(
+        ts=_cat(a_cols, "ts", False),
+        rule=_cat(a_cols, "rule", True),
+        host=_cat(a_cols, "host", True),
+        severity=_cat(a_cols, "severity", True),
+        state=_cat(a_cols, "state", True),
+        value=_cat(a_cols, "value", False),
+    )
+    return verdicts, alerts
+
+
+# ---------------------------------------------------------------------------
+# Roll-up queries
+# ---------------------------------------------------------------------------
+
+
+def detection_rate_trend(
+    frame: VerdictFrame, bucket_s: float = DAY_SECONDS
+) -> list[dict]:
+    """Per-host, per-time-bucket detection and degraded-verdict rates.
+
+    Rows are sorted by (host, bucket start) and report the verdict
+    count, flagged fraction, degraded fraction, and windows observed /
+    lost within each bucket — the longitudinal trend a fleet operator
+    watches for drift.
+    """
+    if bucket_s <= 0:
+        raise ValueError(f"bucket_s must be positive, got {bucket_s}")
+    if len(frame) == 0:
+        return []
+    buckets = np.floor(frame.ts / bucket_s).astype(np.int64)
+    rows = []
+    hosts = frame.host.astype(str)
+    for host in sorted(set(hosts)):
+        host_mask = hosts == host
+        for bucket in sorted(set(buckets[host_mask])):
+            mask = host_mask & (buckets == bucket)
+            n = int(mask.sum())
+            rows.append(
+                {
+                    "host": str(host),
+                    "bucket_start": float(bucket * bucket_s),
+                    "verdicts": n,
+                    "detection_rate": float(frame.flag[mask].mean()),
+                    "degraded_rate": float(frame.degraded[mask].mean()),
+                    "windows": int(frame.n_windows[mask].sum()),
+                    "windows_lost": int(frame.n_lost[mask].sum()),
+                }
+            )
+    return rows
+
+
+def alert_frequency(frame: AlertFrame) -> list[dict]:
+    """Alert counts grouped by rule: how often each rule fired/cleared.
+
+    Sorted by fired count descending then rule name, so the report leads
+    with the noisiest rule.
+    """
+    if len(frame) == 0:
+        return []
+    rules = frame.rule.astype(str)
+    states = frame.state.astype(str)
+    severities = frame.severity.astype(str)
+    rows = []
+    for rule in sorted(set(rules)):
+        mask = rules == rule
+        fired = int(((states == "firing") & mask).sum())
+        cleared = int(((states == "cleared") & mask).sum())
+        severity = sorted(set(severities[mask]))
+        rows.append(
+            {
+                "rule": str(rule),
+                "severity": "/".join(str(s) for s in severity),
+                "fired": fired,
+                "cleared": cleared,
+                "hosts": sorted(str(h) for h in set(frame.host[mask].astype(str))),
+            }
+        )
+    return sorted(rows, key=lambda r: (-r["fired"], r["rule"]))
+
+
+def merged_metrics(
+    archive: Archive,
+    sources: tuple[str, ...] | None = None,
+    since: float | None = None,
+    until: float | None = None,
+) -> dict:
+    """One metrics snapshot exactly merging every selected segment's.
+
+    Counters and histogram buckets add across runs; gauges take the last
+    ingested segment's value — :func:`repro.obs.metrics.merge_snapshots`
+    semantics, so archive roll-ups agree with merging the raw per-run
+    snapshot files.
+    """
+    snapshots = [
+        archive.load_segment(entry).metrics
+        for entry in select_segments(archive, sources=sources, since=since, until=until)
+    ]
+    return merge_snapshots(snapshots)
+
+
+def latency_quantiles(
+    snapshot: dict,
+    quantiles: tuple[float, ...] = REPORT_QUANTILES,
+    suffix: str = "_seconds",
+) -> dict[str, dict]:
+    """Exact-bucket quantiles for every latency histogram in a snapshot.
+
+    Returns ``{name: {"count": .., "mean": .., "p50": .., ...}}`` for
+    histograms whose name ends with ``suffix`` (all of the system's
+    latency histograms follow the Prometheus ``_seconds`` convention).
+    """
+    out: dict[str, dict] = {}
+    for name, data in sorted(snapshot.get("histograms", {}).items()):
+        if not name.endswith(suffix):
+            continue
+        count = int(data["count"])
+        row = {
+            "count": count,
+            "mean": float(data["sum"]) / count if count else 0.0,
+        }
+        for q in quantiles:
+            row[f"p{int(round(q * 100))}"] = histogram_quantile(data, q)
+        out[name] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Report rendering
+# ---------------------------------------------------------------------------
+
+
+def fleet_report_data(
+    archive: Archive,
+    hosts: tuple[str, ...] | None = None,
+    sources: tuple[str, ...] | None = None,
+    since: float | None = None,
+    until: float | None = None,
+    bucket_s: float = DAY_SECONDS,
+) -> dict:
+    """The machine-readable fleet report (the ``report --json`` payload)."""
+    verdicts, alerts = load_frames(
+        archive, hosts=hosts, sources=sources, since=since, until=until
+    )
+    snapshot = merged_metrics(archive, sources=sources, since=since, until=until)
+    entries = select_segments(archive, sources=sources, since=since, until=until)
+    return {
+        "schema": 1,
+        "segments": len(entries),
+        "verdicts": len(verdicts),
+        "alerts": len(alerts),
+        "hosts": sorted(str(h) for h in set(verdicts.host.astype(str))),
+        "detections": int(verdicts.flag.sum()) if len(verdicts) else 0,
+        "degraded": int(verdicts.degraded.sum()) if len(verdicts) else 0,
+        "windows": int(verdicts.n_windows.sum()) if len(verdicts) else 0,
+        "windows_lost": int(verdicts.n_lost.sum()) if len(verdicts) else 0,
+        "bucket_s": bucket_s,
+        "detection_rate_trend": detection_rate_trend(verdicts, bucket_s=bucket_s),
+        "alert_frequency": alert_frequency(alerts),
+        "latency_quantiles": latency_quantiles(snapshot),
+    }
+
+
+def _fmt_bucket(ts: float) -> str:
+    return time.strftime("%Y-%m-%d %H:%M", time.gmtime(ts))
+
+
+def _fmt_q(seconds: float) -> str:
+    if seconds != seconds:  # NaN: empty histogram
+        return "-"
+    if seconds == float("inf"):
+        return "+Inf"
+    return f"{seconds * 1e3:.3f}"
+
+
+def fleet_report(
+    archive: Archive,
+    hosts: tuple[str, ...] | None = None,
+    sources: tuple[str, ...] | None = None,
+    since: float | None = None,
+    until: float | None = None,
+    bucket_s: float = DAY_SECONDS,
+) -> str:
+    """Human-readable fleet history report across archived runs."""
+    data = fleet_report_data(
+        archive, hosts=hosts, sources=sources, since=since, until=until,
+        bucket_s=bucket_s,
+    )
+    lines = [
+        "Fleet archive report",
+        f"segments: {data['segments']}  verdicts: {data['verdicts']}  "
+        f"alerts: {data['alerts']}  hosts: {len(data['hosts'])}",
+        f"detections: {data['detections']}  degraded: {data['degraded']}  "
+        f"windows: {data['windows']} ({data['windows_lost']} lost)",
+    ]
+    trend = data["detection_rate_trend"]
+    if trend:
+        lines.append("")
+        lines.append(
+            f"Detection-rate trend (per host, {data['bucket_s']:.0f} s buckets)"
+        )
+        lines.append(
+            f"{'host':24s} {'bucket (UTC)':>16s} {'verdicts':>8s} "
+            f"{'detect':>7s} {'degraded':>8s} {'windows':>8s} {'lost':>5s}"
+        )
+        for row in trend:
+            lines.append(
+                f"{row['host']:24s} {_fmt_bucket(row['bucket_start']):>16s} "
+                f"{row['verdicts']:>8d} {row['detection_rate']:>6.0%} "
+                f"{row['degraded_rate']:>7.0%} {row['windows']:>8d} "
+                f"{row['windows_lost']:>5d}"
+            )
+    freq = data["alert_frequency"]
+    if freq:
+        lines.append("")
+        lines.append("Alert frequency (by rule)")
+        lines.append(f"{'rule':32s} {'severity':>10s} {'fired':>6s} {'cleared':>8s}")
+        for row in freq:
+            lines.append(
+                f"{row['rule']:32s} {row['severity']:>10s} "
+                f"{row['fired']:>6d} {row['cleared']:>8d}"
+            )
+    quantiles = data["latency_quantiles"]
+    if quantiles:
+        lines.append("")
+        lines.append("Latency percentiles (exact bucket merge across segments)")
+        lines.append(
+            f"{'histogram':38s} {'count':>8s} {'mean ms':>9s} "
+            f"{'p50 ms':>8s} {'p95 ms':>8s} {'p99 ms':>8s}"
+        )
+        for name, row in quantiles.items():
+            lines.append(
+                f"{name:38s} {row['count']:>8d} {row['mean'] * 1e3:>9.3f} "
+                f"{_fmt_q(row['p50']):>8s} {_fmt_q(row['p95']):>8s} "
+                f"{_fmt_q(row['p99']):>8s}"
+            )
+    if not (trend or freq or quantiles):
+        lines.append("(archive matched no verdicts, alerts, or histograms)")
+    return "\n".join(lines)

@@ -48,11 +48,18 @@ def toplevel_wall_seconds(events: list[dict]) -> float:
     Root spans do not overlap within one thread of one process, so for
     the single-threaded CLI stages their sum is the command's measured
     wall time; nested spans are excluded to avoid double counting.
+    Concurrent root spans (multi-worker traces) therefore SUM — the
+    result is per-thread wall accounting, not a union of time ranges.
+    An empty or events-only trace yields 0.0; spans missing ``dur``
+    (foreign or torn records) are ignored, as in
+    :func:`aggregate_spans`.
     """
     return sum(
         float(event["dur"])
         for event in events
-        if event.get("type") == "span" and event.get("parent_id") is None
+        if event.get("type") == "span"
+        and "dur" in event
+        and event.get("parent_id") is None
     )
 
 

@@ -152,14 +152,20 @@ class Tracer:
             return NULL_SPAN
         return Span(self, name, attrs)
 
-    def event(self, name: str, **attrs) -> None:
-        """Record a point-in-time event (no duration)."""
+    def event(self, name: str, ts: float | None = None, **attrs) -> None:
+        """Record a point-in-time event (no duration).
+
+        ``ts`` overrides the wall-clock timestamp; callers that fan the
+        same observation out to several sinks (e.g. a trace event plus
+        an archive record) pass one shared ``time.time()`` so every copy
+        carries the identical timestamp.
+        """
         if not self.enabled:
             return
         event = {
             "type": "event",
             "name": name,
-            "ts": time.time(),
+            "ts": time.time() if ts is None else ts,
             "pid": os.getpid(),
             "tid": threading.get_ident(),
         }
@@ -187,13 +193,23 @@ class Tracer:
         with self._lock:
             self._events.extend(events)
 
-    def dump(self, path: str | Path) -> int:
-        """Write the buffer as JSON Lines; returns the event count."""
+    def dump(self, path: str | Path, append: bool = False) -> int:
+        """Write the buffer as JSON Lines; returns the event count.
+
+        Contract: with ``append=False`` (the default) an existing file
+        at ``path`` is **overwritten** — the file afterwards contains
+        exactly this buffer.  With ``append=True`` events are appended
+        after any existing content, so a long-running service that
+        periodically ``drain()``\\ s and dumps accumulates one growing
+        trace instead of losing earlier events.  Parent directories are
+        created either way; the buffer itself is left untouched (pair
+        with :meth:`drain` when appending to avoid duplicate lines).
+        """
         events = self.events
         path = Path(path)
         if path.parent != Path(""):
             path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "w") as handle:
+        with open(path, "a" if append else "w") as handle:
             for event in events:
                 handle.write(json.dumps(event, default=str))
                 handle.write("\n")

@@ -10,15 +10,31 @@ from the producer-side ledger (:mod:`repro.serve.service`).
 """
 
 from repro.serve.bus import SHUTDOWN, Bus, Channel, WindowClosed, WindowSample
+from repro.serve.replay import (
+    ReplayError,
+    ReplayMismatchError,
+    ReplayResult,
+    archived_wall_seconds,
+    build_serve_workload,
+    replay_segment,
+    serve_run_meta,
+)
 from repro.serve.service import DetectionService, ServeJob, ServiceReport
 
 __all__ = [
     "Bus",
     "Channel",
     "DetectionService",
+    "ReplayError",
+    "ReplayMismatchError",
+    "ReplayResult",
     "SHUTDOWN",
     "ServeJob",
     "ServiceReport",
     "WindowClosed",
     "WindowSample",
+    "archived_wall_seconds",
+    "build_serve_workload",
+    "replay_segment",
+    "serve_run_meta",
 ]

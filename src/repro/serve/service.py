@@ -77,6 +77,7 @@ from repro.obs import (
     Registry,
     Tracer,
 )
+from repro.obs.archive import HOST_VOTE_RULE, ArchiveSink
 from repro.serve.bus import SHUTDOWN, Bus, WindowClosed, WindowSample
 
 
@@ -207,6 +208,11 @@ class DetectionService:
         health: optional :class:`~repro.obs.HealthEvaluator` fed every
             verdict and classify latency in-process; it observes but
             never alters verdicts.
+        archive_sink: optional :class:`~repro.obs.archive.ArchiveSink`
+            fed every verdict and host alert with the same timestamp the
+            trace event carries, so a run archived live and the same run
+            re-ingested from its dumped trace produce one identical
+            (deduplicated) segment.
     """
 
     def __init__(
@@ -224,6 +230,7 @@ class DetectionService:
         tracer: Tracer | None = None,
         metrics: Registry | None = None,
         health: HealthEvaluator | None = None,
+        archive_sink: ArchiveSink | None = None,
     ) -> None:
         validate_deployment(detector, n_counters, vote_threshold)
         if producers < 1:
@@ -247,6 +254,7 @@ class DetectionService:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.health = health
+        self.archive_sink = archive_sink
         self._metrics_lock = threading.Lock()
         self._c_executions = self.metrics.counter(
             "serve_executions_total", "executions streamed to a verdict"
@@ -334,16 +342,36 @@ class DetectionService:
         latency = detection_latency_windows(
             verdict.window_flags, self.vote_threshold
         )
+        # One wall-clock read shared by the trace event and the archive
+        # sink: both records must carry the identical timestamp so a
+        # live-archived run dedupes against re-ingesting its own trace.
+        ts = time.time()
         self.tracer.event(
             "serve.verdict",
+            ts=ts,
             app=verdict.app_name,
             host=closed.host,
             index=closed.execution,
             is_malware=verdict.is_malware,
             malware_fraction=verdict.malware_fraction,
             n_windows=n,
+            n_windows_lost=verdict.n_windows_lost,
+            degraded=verdict.degraded,
             detection_latency_windows=latency,
         )
+        if self.archive_sink is not None:
+            self.archive_sink.observe_verdict(
+                ts=ts,
+                host=closed.host,
+                app=verdict.app_name,
+                execution=closed.execution,
+                is_malware=verdict.is_malware,
+                malware_fraction=verdict.malware_fraction,
+                n_windows=n,
+                n_windows_lost=verdict.n_windows_lost,
+                degraded=verdict.degraded,
+                latency=latency,
+            )
         if self.health is not None:
             if n:
                 self.health.observe_classify(elapsed / n, n)
@@ -386,7 +414,17 @@ class DetectionService:
             state.alerts.append(alert)
             with self._metrics_lock:
                 self._c_host_alerts.inc()
-            self.tracer.event("serve.alert", **alert)
+            ts = time.time()
+            self.tracer.event("serve.alert", ts=ts, **alert)
+            if self.archive_sink is not None:
+                self.archive_sink.observe_alert(
+                    ts=ts,
+                    rule=HOST_VOTE_RULE,
+                    host=host,
+                    severity="critical",
+                    state="firing",
+                    value=fraction,
+                )
 
     def _handle_close(
         self, state: _RunState, assembly: dict[int, dict[int, np.ndarray]],

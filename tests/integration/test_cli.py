@@ -442,3 +442,118 @@ def test_stats_merges_multiple_metrics_files(capsys, tmp_path):
     out = capsys.readouterr().out
     assert "monitor_apps_total" in out
     assert "7" in out  # 3 + 4 merged exactly
+
+
+def test_stats_merges_multiple_trace_files(capsys, tmp_path):
+    """Regression: --trace used to accept a single path only."""
+    from repro.obs import Tracer
+
+    first, second = Tracer(), Tracer()
+    with first.span("stage.one"):
+        pass
+    with second.span("stage.two"):
+        pass
+    first.event("verdict", ts=5.0)
+    second.event("verdict", ts=1.0)
+    path_a = tmp_path / "a.jsonl"
+    path_b = tmp_path / "b.jsonl"
+    first.dump(path_a)
+    second.dump(path_b)
+    rc = main(["stats", "--trace", str(path_a), str(path_b)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "stage.one" in out and "stage.two" in out
+    assert "2 point events" in out
+
+
+# -- archive / report / replay -----------------------------------------
+
+
+def test_serve_archive_report_replay_roundtrip(capsys, tmp_path):
+    import json
+
+    archive_dir = tmp_path / "arch"
+    trace = tmp_path / "serve.jsonl"
+    metrics = tmp_path / "serve-metrics.json"
+    rc = main([
+        "serve", *FAST,
+        "--classifier", "OneR", "--ensemble", "general",
+        "--hpcs", "2", "--stride", "7", "--rounds", "2",
+        "--producers", "1", "--serve-workers", "1",
+        "--trace-out", str(trace), "--metrics-out", str(metrics),
+        "--archive-dir", str(archive_dir),
+    ])
+    assert rc == 0
+    err = capsys.readouterr().err
+    assert "archived segment" in err
+
+    # re-ingesting the run's own dumped trace is a no-op (idempotent)
+    rc = main([
+        "report", "--archive-dir", str(archive_dir),
+        "--ingest", str(trace), "--ingest-metrics", str(metrics), "--json",
+    ])
+    assert rc == 0
+    captured = capsys.readouterr()
+    assert "[already archived]" in captured.err
+    data = json.loads(captured.out)
+    assert data["segments"] == 1
+    assert data["verdicts"] == 6  # 3 hosts (stride 7) x 2 rounds
+    assert len(data["hosts"]) == 3
+    assert data["detection_rate_trend"]
+    assert "serve_window_classify_seconds" in data["latency_quantiles"]
+
+    # replay at 1x asserts verdict bit-identity against the archive
+    rc = main(["replay", "--archive-dir", str(archive_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "6 verdicts matched bit-identical" in out
+
+
+def test_fleet_archive_dir_alone_enables_obs_and_reports(capsys, tmp_path):
+    archive_dir = tmp_path / "arch"
+    rc = main([
+        "fleet", *FAST,
+        "--classifier", "OneR", "--ensemble", "general",
+        "--hpcs", "2", "--stride", "6", "--windows", "8",
+        "--fleet-workers", "2",
+        "--archive-dir", str(archive_dir),
+    ])
+    assert rc == 0
+    assert "archived segment" in capsys.readouterr().err
+    rc = main(["report", "--archive-dir", str(archive_dir)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Fleet archive report" in out
+    assert "segments: 1" in out
+    # fleet runs are not replayable (no serve workload to reconstruct)
+    with pytest.raises(SystemExit, match="no replayable"):
+        main(["replay", "--archive-dir", str(archive_dir)])
+
+
+def test_report_on_missing_archive_is_empty_not_an_error(capsys, tmp_path):
+    rc = main(["report", "--archive-dir", str(tmp_path / "nowhere")])
+    assert rc == 0
+    assert "matched no verdicts" in capsys.readouterr().out
+
+
+def test_report_host_filter(capsys, tmp_path):
+    import json
+
+    from repro.obs import Tracer
+    from repro.obs.archive import Archive
+
+    tracer = Tracer()
+    for index, host in enumerate(("web-1", "web-2")):
+        tracer.event(
+            "serve.verdict", ts=float(index), app=host, host=host,
+            index=index, is_malware=True, malware_fraction=1.0, n_windows=4,
+        )
+    Archive(tmp_path / "arch").ingest_events(tracer.events)
+    rc = main([
+        "report", "--archive-dir", str(tmp_path / "arch"),
+        "--host", "web-1", "--json",
+    ])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["hosts"] == ["web-1"]
+    assert data["verdicts"] == 1

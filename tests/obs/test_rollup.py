@@ -1,0 +1,199 @@
+"""Roll-ups: raw-file parity, trends, filters, report rendering."""
+
+import json
+
+import pytest
+
+from repro.obs import Registry, merge_snapshots
+from repro.obs.archive import Archive
+from repro.obs.rollup import (
+    DAY_SECONDS,
+    alert_frequency,
+    detection_rate_trend,
+    fleet_report,
+    fleet_report_data,
+    latency_quantiles,
+    load_frames,
+    merged_metrics,
+    select_segments,
+)
+from repro.obs.stats import histogram_quantile
+
+DAY = DAY_SECONDS
+
+
+def verdict_event(ts, index, host, flagged, degraded=False, lost=0):
+    return {
+        "type": "event", "name": "serve.verdict", "ts": ts,
+        "attrs": {
+            "app": host, "host": host, "index": index, "is_malware": flagged,
+            "malware_fraction": 1.0 if flagged else 0.0, "n_windows": 10,
+            "n_windows_lost": lost, "degraded": degraded,
+            "detection_latency_windows": 0 if flagged else None,
+        },
+    }
+
+
+def alert_event(ts, rule, state="firing", severity="critical", value=0.5):
+    return {
+        "type": "event", "name": "health.alert", "ts": ts,
+        "attrs": {"rule": rule, "state": state, "severity": severity,
+                  "value": value},
+    }
+
+
+def run_snapshot(values):
+    registry = Registry()
+    hist = registry.histogram(
+        "serve_window_classify_seconds", "w", buckets=(0.001, 0.01, 0.1)
+    )
+    for value in values:
+        hist.observe(value)
+    return registry.snapshot()
+
+
+@pytest.fixture()
+def archive(tmp_path):
+    """Two archived runs a day apart, two hosts, distinct latency mixes."""
+    archive = Archive(tmp_path / "arch")
+    day0 = [
+        {"type": "span", "name": "serve.run", "ts": 0.0, "dur": 2.0},
+        verdict_event(10.0, 0, "web-1", True),
+        verdict_event(20.0, 1, "web-2", False),
+        alert_event(30.0, "degraded_ratio>=0.2"),
+        alert_event(40.0, "degraded_ratio>=0.2", state="cleared"),
+    ]
+    day1 = [
+        verdict_event(DAY + 10.0, 0, "web-1", True),
+        verdict_event(DAY + 20.0, 1, "web-1", False, degraded=True, lost=3),
+        verdict_event(DAY + 30.0, 2, "web-2", True),
+        alert_event(DAY + 40.0, "p95_breach", severity="warning"),
+    ]
+    archive.ingest_events(
+        day0, metrics=run_snapshot([0.0005, 0.005]), source="serve"
+    )
+    archive.ingest_events(
+        day1, metrics=run_snapshot([0.05, 0.05, 0.005]), source="serve"
+    )
+    return archive
+
+
+def test_load_frames_concatenates_all_segments(archive):
+    verdicts, alerts = load_frames(archive)
+    assert len(verdicts) == 5
+    assert len(alerts) == 3
+    assert sorted(set(verdicts.host)) == ["web-1", "web-2"]
+    assert int(verdicts.flag.sum()) == 3
+    assert int(verdicts.degraded.sum()) == 1
+    assert int(verdicts.n_lost.sum()) == 3
+
+
+def test_load_frames_host_filter(archive):
+    verdicts, alerts = load_frames(archive, hosts=("web-1",))
+    assert len(verdicts) == 3
+    assert set(verdicts.host) == {"web-1"}
+    # wildcard-host (fleet-wide) alerts survive any host filter
+    assert len(alerts) == 3
+
+
+def test_load_frames_time_filter(archive):
+    verdicts, _ = load_frames(archive, since=DAY)
+    assert len(verdicts) == 3
+    verdicts, _ = load_frames(archive, until=DAY)
+    assert len(verdicts) == 2
+
+
+def test_select_segments_source_filter(archive):
+    assert len(select_segments(archive, sources=("serve",))) == 2
+    assert select_segments(archive, sources=("fleet",)) == []
+    assert len(select_segments(archive, since=DAY)) == 1
+
+
+def test_detection_rate_trend_buckets_by_host_and_day(archive):
+    verdicts, _ = load_frames(archive)
+    trend = detection_rate_trend(verdicts, bucket_s=DAY)
+    by_key = {(row["host"], row["bucket_start"]): row for row in trend}
+    assert by_key[("web-1", 0.0)]["detection_rate"] == 1.0
+    assert by_key[("web-1", DAY)]["verdicts"] == 2
+    assert by_key[("web-1", DAY)]["detection_rate"] == 0.5
+    assert by_key[("web-1", DAY)]["degraded_rate"] == 0.5
+    assert by_key[("web-1", DAY)]["windows_lost"] == 3
+    assert by_key[("web-2", DAY)]["detection_rate"] == 1.0
+    assert detection_rate_trend(verdicts, bucket_s=2 * DAY) != trend
+
+
+def test_detection_rate_trend_rejects_bad_bucket(archive):
+    verdicts, _ = load_frames(archive)
+    with pytest.raises(ValueError):
+        detection_rate_trend(verdicts, bucket_s=0)
+
+
+def test_alert_frequency_counts_transitions(archive):
+    _, alerts = load_frames(archive)
+    rows = alert_frequency(alerts)
+    by_rule = {row["rule"]: row for row in rows}
+    assert by_rule["degraded_ratio>=0.2"]["fired"] == 1
+    assert by_rule["degraded_ratio>=0.2"]["cleared"] == 1
+    assert by_rule["p95_breach"]["fired"] == 1
+    assert by_rule["p95_breach"]["severity"] == "warning"
+    # noisiest rule (fired desc) leads; here both fired once -> name order
+    assert rows[0]["rule"] == "degraded_ratio>=0.2"
+
+
+def test_merged_quantiles_match_raw_snapshot_merge(archive):
+    """Archive roll-up == merging the raw --metrics-out files directly."""
+    raw = merge_snapshots(
+        [run_snapshot([0.0005, 0.005]), run_snapshot([0.05, 0.05, 0.005])]
+    )
+    rolled = merged_metrics(archive)
+    data = rolled["histograms"]["serve_window_classify_seconds"]
+    raw_data = raw["histograms"]["serve_window_classify_seconds"]
+    assert data["counts"] == raw_data["counts"]
+    assert data["count"] == raw_data["count"] == 5
+    for q in (0.5, 0.95, 0.99):
+        assert histogram_quantile(data, q) == histogram_quantile(raw_data, q)
+    quantiles = latency_quantiles(rolled)
+    row = quantiles["serve_window_classify_seconds"]
+    assert row["count"] == 5
+    assert row["p50"] == histogram_quantile(raw_data, 0.5)
+    assert row["p95"] == histogram_quantile(raw_data, 0.95)
+
+
+def test_latency_quantiles_skips_non_latency_histograms():
+    registry = Registry()
+    registry.histogram("sizes_bytes", "s", buckets=(1.0,)).observe(0.5)
+    assert latency_quantiles(registry.snapshot()) == {}
+
+
+def test_fleet_report_data_payload(archive):
+    data = fleet_report_data(archive)
+    assert data["segments"] == 2
+    assert data["verdicts"] == 5
+    assert data["alerts"] == 3
+    assert data["hosts"] == ["web-1", "web-2"]
+    assert data["detections"] == 3
+    assert data["degraded"] == 1
+    assert data["windows"] == 50
+    assert data["windows_lost"] == 3
+    assert len(data["detection_rate_trend"]) == 4
+    assert len(data["alert_frequency"]) == 2
+    assert "serve_window_classify_seconds" in data["latency_quantiles"]
+    json.dumps(data)  # CI gate payload must be JSON-clean
+
+
+def test_fleet_report_renders_tables(archive):
+    text = fleet_report(archive)
+    assert "Fleet archive report" in text
+    assert "web-1" in text and "web-2" in text
+    assert "degraded_ratio>=0.2" in text
+    assert "serve_window_classify_seconds" in text
+    assert "1970-01-01" in text and "1970-01-02" in text
+
+
+def test_fleet_report_empty_archive(tmp_path):
+    archive = Archive(tmp_path)
+    text = fleet_report(archive)
+    assert "matched no verdicts" in text
+    data = fleet_report_data(archive)
+    assert data["segments"] == 0 and data["verdicts"] == 0
+    assert data["hosts"] == []

@@ -155,3 +155,50 @@ def test_metrics_table_is_nan_safe_for_empty_histograms():
     table = metrics_table(registry.snapshot())
     assert "latency_seconds" in table
     assert "nan" not in table.lower()
+
+
+# -- pathological traces (pinned before `report` depends on them) ------
+
+
+def test_toplevel_wall_empty_event_list_is_zero():
+    assert toplevel_wall_seconds([]) == 0.0
+
+
+def test_toplevel_wall_events_only_trace_is_zero():
+    events = [
+        {"type": "event", "name": "verdict", "ts": 1.0, "pid": 1, "tid": 1},
+        {"type": "event", "name": "verdict", "ts": 2.0, "pid": 1, "tid": 1},
+    ]
+    assert toplevel_wall_seconds(events) == 0.0
+
+
+def test_toplevel_wall_sums_overlapping_root_spans():
+    """Concurrent root spans SUM — wall is per-thread accounting, not a
+    union of time ranges.  Two 2 s roots overlapping in real time still
+    report 4 s; span_table's footer says so ('over N root spans')."""
+    events = [_span("worker-a", 2.0), _span("worker-b", 2.0)]
+    assert toplevel_wall_seconds(events) == 4.0
+
+
+def test_span_table_events_only_trace_reports_event_count():
+    events = [
+        {"type": "event", "name": "verdict", "ts": 1.0, "pid": 1, "tid": 1},
+    ] * 3
+    table = span_table(events)
+    assert "no spans recorded" in table
+    assert "3 point events" in table
+
+
+def test_span_table_overlapping_roots_share_of_wall_uses_sum():
+    events = [_span("worker-a", 2.0), _span("worker-b", 2.0)]
+    table = span_table(events)
+    assert "traced wall: 4.000s" in table
+    assert "2 root spans" in table
+    # each root is 50% of the summed wall, never >100%
+    assert "50.0%" in table
+
+
+def test_malformed_span_without_dur_is_ignored_everywhere():
+    torn = {"type": "span", "name": "torn", "ts": 0.0}
+    assert aggregate_spans([torn]) == []
+    assert toplevel_wall_seconds([torn, _span("ok", 1.0)]) == 1.0

@@ -146,3 +146,51 @@ def test_dumped_lines_are_independent_json(tmp_path):
     assert len(lines) == 3
     for line in lines:
         json.loads(line)
+
+
+def test_dump_overwrites_by_default(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    first = Tracer()
+    first.event("old")
+    first.dump(path)
+    second = Tracer()
+    second.event("new")
+    assert second.dump(path) == 1
+    (event,) = load_trace(path)
+    assert event["name"] == "new"
+
+
+def test_dump_append_accumulates_earlier_events(tmp_path):
+    """The periodic-dump pattern: drain + append never loses history."""
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer()
+    tracer.event("first")
+    tracer.absorb(tracer.drain())  # no-op shuffle; events stay ordered
+    tracer.dump(path, append=True)
+    tracer.drain()
+    tracer.event("second")
+    assert tracer.dump(path, append=True) == 1  # returns THIS buffer's count
+    names = [event["name"] for event in load_trace(path)]
+    assert names == ["first", "second"]
+
+
+def test_dump_append_to_missing_file_creates_it(tmp_path):
+    path = tmp_path / "deep" / "trace.jsonl"
+    tracer = Tracer()
+    tracer.event("only")
+    assert tracer.dump(path, append=True) == 1
+    assert [e["name"] for e in load_trace(path)] == ["only"]
+
+
+def test_event_accepts_explicit_shared_timestamp():
+    """Callers fanning one observation out to several sinks pass one
+    time.time() so every copy carries the identical timestamp."""
+    tracer = Tracer()
+    tracer.event("verdict", ts=123.25, host="h")
+    (event,) = tracer.events
+    assert event["ts"] == 123.25
+    assert event["attrs"] == {"host": "h"}
+    tracer.drain()
+    tracer.event("verdict")  # default remains wall-clock
+    (event,) = tracer.events
+    assert event["ts"] > 1_000_000_000.0

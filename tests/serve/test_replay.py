@@ -1,0 +1,194 @@
+"""Replay: workload reconstruction, 1x bit-identity, capacity math."""
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.archive import Archive, normalize_events
+from repro.serve import DetectionService
+from repro.serve.replay import (
+    ReplayError,
+    ReplayMismatchError,
+    ReplayResult,
+    archived_wall_seconds,
+    build_serve_workload,
+    replay_segment,
+    serve_run_meta,
+)
+
+RUN_META = serve_run_meta(
+    seed=11, windows=6, split_seed=7, classifier="REPTree",
+    ensemble="general", hpcs=4, counters=4, vote_threshold=0.5,
+    stride=7, rounds=2, host_vote_windows=4,
+    producers=1, workers=1, queue_depth=8,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_serve_workload(RUN_META)
+
+
+def archived_run(root, workload, run_meta=RUN_META, tamper=None):
+    """Run the workload through the service and archive its trace."""
+    detector, jobs = workload
+    tracer = Tracer()
+    service = DetectionService(
+        detector,
+        producers=run_meta["producers"],
+        workers=run_meta["workers"],
+        queue_depth=run_meta["queue_depth"],
+        n_counters=run_meta["counters"],
+        vote_threshold=run_meta["vote_threshold"],
+        host_vote_windows=run_meta["host_vote_windows"],
+        pool_seed=run_meta["seed"] + 99,
+        tracer=tracer,
+    )
+    service.run(jobs)
+    archive = Archive(root)
+    verdicts, alerts, spans = normalize_events(tracer.events)
+    if tamper is not None:
+        tamper(verdicts)
+    result = archive.ingest_records(
+        verdicts, alerts, spans, run_meta=run_meta, source="serve"
+    )
+    return archive, result
+
+
+@pytest.fixture(scope="module")
+def archived(tmp_path_factory, workload):
+    return archived_run(tmp_path_factory.mktemp("arch"), workload)
+
+
+def test_build_serve_workload_matches_meta(workload):
+    detector, jobs = workload
+    # stride 7 over the family list, twice (rounds=2)
+    assert len(jobs) % RUN_META["rounds"] == 0
+    assert all(job.n_windows == RUN_META["windows"] for job in jobs)
+    # the two rounds stream the same hosts in the same order
+    half = len(jobs) // 2
+    assert [j.host_name for j in jobs[:half]] == [
+        j.host_name for j in jobs[half:]
+    ]
+
+
+def test_build_serve_workload_rejects_missing_or_foreign_meta():
+    with pytest.raises(ReplayError, match="missing"):
+        build_serve_workload({"command": "serve", "seed": 1})
+    with pytest.raises(ReplayError, match="only 'serve'"):
+        build_serve_workload(dict(RUN_META, command="fleet"))
+
+
+def test_replay_at_1x_is_bit_identical(archived, workload):
+    archive, ingested = archived
+    result = replay_segment(archive)
+    _, jobs = workload
+    assert result.segment_id == ingested.segment_id
+    assert result.executions == len(jobs)
+    assert result.matched == len(jobs)
+    assert result.repeat == 1
+    assert result.n_windows == sum(j.n_windows for j in jobs)
+    assert result.replay_seconds > 0
+
+
+def test_replay_repeat_scales_matches_and_speed(archived, workload):
+    archive, _ = archived
+    result = replay_segment(archive, repeat=2, producers=2, workers=2)
+    _, jobs = workload
+    assert result.matched == 2 * len(jobs)
+    assert result.producers == 2 and result.workers == 2
+    assert result.windows_per_second > 0
+
+
+def test_replay_rejects_bad_repeat(archived):
+    archive, _ = archived
+    with pytest.raises(ValueError):
+        replay_segment(archive, repeat=0)
+
+
+def test_replay_detects_archive_tampering(tmp_path, workload):
+    def flip_first_flag(verdicts):
+        verdicts[0]["is_malware"] = not verdicts[0]["is_malware"]
+
+    archive, _ = archived_run(tmp_path, workload, tamper=flip_first_flag)
+    with pytest.raises(ReplayMismatchError, match="diverged"):
+        replay_segment(archive)
+
+
+def test_replay_detects_count_mismatch(tmp_path, workload):
+    archive, _ = archived_run(
+        tmp_path, workload, tamper=lambda verdicts: verdicts.pop()
+    )
+    with pytest.raises(ReplayMismatchError, match="archives"):
+        replay_segment(archive)
+
+
+def test_replay_needs_a_serve_segment(tmp_path):
+    archive = Archive(tmp_path)
+    with pytest.raises(ReplayError, match="no replayable"):
+        replay_segment(archive)
+    archive.ingest_events([], run_meta={"command": "fleet"}, source="fleet")
+    with pytest.raises(ReplayError, match="no replayable"):
+        replay_segment(archive)
+
+
+def test_replay_default_picks_latest_serve_segment(archived):
+    archive, ingested = archived
+    # a foreign segment after it must not shadow the serve run
+    archive.ingest_events([], run_meta={"command": "fleet"}, source="fleet")
+    assert replay_segment(archive).segment_id == ingested.segment_id
+
+
+def test_speedup_and_throughput_math():
+    result = ReplayResult(
+        segment_id="x", repeat=3, executions=2, n_windows=100, matched=6,
+        archived_seconds=2.0, replay_seconds=1.5, producers=1, workers=1,
+        queue_depth=8,
+    )
+    assert result.speedup == pytest.approx(3 * 2.0 / 1.5)
+    assert result.windows_per_second == pytest.approx(200.0)
+    zero = ReplayResult(
+        segment_id="x", repeat=1, executions=0, n_windows=0, matched=0,
+        archived_seconds=0.0, replay_seconds=0.0, producers=1, workers=1,
+        queue_depth=8,
+    )
+    assert zero.speedup == 0.0 and zero.windows_per_second == 0.0
+
+
+def test_archived_wall_seconds_falls_back_to_verdict_span(archived, tmp_path):
+    archive, ingested = archived
+    segment = archive.load_segment(ingested.segment_id)
+    assert archived_wall_seconds(segment) == segment.span_seconds("serve.run")
+    # strip the spans: the verdict ts range stands in
+    spanless = Archive(tmp_path)
+    result = spanless.ingest_records(
+        [
+            {k: v for k, v in row.items()}
+            for row in _segment_rows(segment)
+        ],
+        [], [],
+    )
+    loaded = spanless.load_segment(result.segment_id)
+    ts = loaded.verdicts["ts"]
+    assert archived_wall_seconds(loaded) == pytest.approx(
+        float(ts.max() - ts.min())
+    )
+
+
+def _segment_rows(segment):
+    hosts = segment.resolve(segment.verdicts["host"])
+    apps = segment.resolve(segment.verdicts["app"])
+    sources = segment.resolve(segment.verdicts["source"])
+    for i in range(segment.n_verdicts):
+        yield {
+            "ts": float(segment.verdicts["ts"][i]),
+            "source": str(sources[i]),
+            "host": str(hosts[i]),
+            "app": str(apps[i]),
+            "execution": int(segment.verdicts["execution"][i]),
+            "is_malware": bool(segment.verdicts["flag"][i]),
+            "degraded": bool(segment.verdicts["degraded"][i]),
+            "malware_fraction": float(segment.verdicts["fraction"][i]),
+            "n_windows": int(segment.verdicts["windows"][i]),
+            "n_windows_lost": int(segment.verdicts["lost"][i]),
+            "latency": int(segment.verdicts["latency"][i]),
+        }
