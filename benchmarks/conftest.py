@@ -24,7 +24,7 @@ from repro.workloads import default_corpus
 
 CACHE_DIR = Path(__file__).parent / ".bench_cache"
 #: Bump when the workload model or classifiers change materially.
-CACHE_VERSION = "v1"
+CACHE_VERSION = "v2"
 
 CORPUS_SEED = 2018
 WINDOWS_PER_APP = 40

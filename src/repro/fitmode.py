@@ -1,0 +1,41 @@
+"""Process-wide switch routing fits through retained scalar reference paths.
+
+PR 5 established the pattern for inference: every vectorized kernel keeps
+its scalar predecessor as an executable reference, and differential tests
+assert bit-identity between the two.  This module extends the pattern to
+*training*: learners consult :func:`scalar_fit_enabled` inside ``fit`` and
+route to their ``_fit_scalar``/``*_scalar`` reference when the switch is
+on.  Tests flip the switch with the :func:`scalar_fit` context manager to
+fit the same model twice — once per path — and compare fitted parameters
+and predictions bitwise.
+
+The switch is deliberately a module global rather than a per-classifier
+flag: an ensemble fit (AdaBoost, Bagging, Voting) constructs its base
+learners internally, and the global lets a single ``with scalar_fit():``
+drive every member fit through the scalar path without threading a flag
+through the ensemble APIs.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_scalar = False
+
+
+def scalar_fit_enabled() -> bool:
+    """True while fits should run the retained scalar reference paths."""
+    return _scalar
+
+
+@contextmanager
+def scalar_fit() -> Iterator[None]:
+    """Route all fits inside the block through the scalar reference paths."""
+    global _scalar
+    previous = _scalar
+    _scalar = True
+    try:
+        yield
+    finally:
+        _scalar = previous

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import fitmode
 from repro.hpc.events import ALL_EVENTS
 
 #: Nominal core frequency of the modelled Xeon X5550.
@@ -91,7 +92,31 @@ class PhaseParameters:
         ``exp(N(0, sigma))`` and clipped back to a sane range.  Used by the
         execution context so that re-running an application (as the paper
         does, 11 times per app) never reproduces identical counts.
+
+        One batched ``rng.normal`` call draws all factors; the generator
+        fills arrays from the same bit stream as repeated scalar draws,
+        so this consumes the stream exactly like the retained per-field
+        reference (:meth:`_perturbed_scalar`).
         """
+        if fitmode.scalar_fit_enabled():
+            return self._perturbed_scalar(rng, sigma)
+        names = [f.name for f in dataclasses.fields(self) if f.name != "noise_sigma"]
+        factors = np.exp(rng.normal(0.0, sigma, size=len(names)))
+        values = np.array([getattr(self, name) for name in names])
+        # ipc and prefetch_intensity are counts-per-event, not
+        # probabilities; they may exceed 1.
+        ceilings = np.array(
+            [4.0 if name in ("ipc", "prefetch_intensity") else 1.0 for name in names]
+        )
+        clipped = np.clip(values * factors, 1e-6, ceilings)
+        fields = {name: float(v) for name, v in zip(names, clipped)}
+        fields["noise_sigma"] = self.noise_sigma
+        return PhaseParameters(**fields)
+
+    def _perturbed_scalar(
+        self, rng: np.random.Generator, sigma: float = 0.05
+    ) -> "PhaseParameters":
+        """Per-field jitter loop (differential reference for `perturbed`)."""
         fields = {}
         for field in dataclasses.fields(self):
             value = getattr(self, field.name)
@@ -99,8 +124,6 @@ class PhaseParameters:
                 fields[field.name] = value
                 continue
             factor = float(np.exp(rng.normal(0.0, sigma)))
-            # ipc and prefetch_intensity are counts-per-event, not
-            # probabilities; they may exceed 1.
             ceiling = 4.0 if field.name in ("ipc", "prefetch_intensity") else 1.0
             fields[field.name] = float(np.clip(value * factor, 1e-6, ceiling))
         return PhaseParameters(**fields)
@@ -296,7 +319,56 @@ class ApplicationBehavior:
         self._weights = np.array([p.weight / total for p in self.phases])
 
     def phase_schedule(self, n_windows: int, rng: np.random.Generator) -> np.ndarray:
-        """Draw the per-window phase index sequence for one execution."""
+        """Draw the per-window phase index sequence for one execution.
+
+        Both paths produce the same schedule from the same generator
+        state and leave the generator at the same stream position.  The
+        reference consumes the stream draw by draw — one ``rng.choice``
+        to enter the first phase, one switch uniform per later window,
+        one more ``rng.choice`` at each switch.  The fast path draws a
+        ``2 * n_windows`` buffer up front (the worst-case consumption),
+        decodes it with the same comparisons (``Generator.choice`` with
+        probabilities spends exactly one uniform, mapped through the
+        weight CDF), then rewinds the generator and advances it by the
+        draws actually consumed.
+
+        An empty schedule consumes nothing on either path; previously a
+        phase was drawn even for zero windows.
+        """
+        if n_windows <= 0:
+            return np.empty(0, dtype=np.intp)
+        if fitmode.scalar_fit_enabled():
+            return self._phase_schedule_scalar(n_windows, rng)
+        from bisect import bisect_right
+
+        state = rng.bit_generator.state
+        buffer = rng.random(2 * n_windows).tolist()
+        # Generator.choice normalizes its CDF by the last element before
+        # the searchsorted lookup; replicate exactly
+        cdf_array = np.cumsum(self._weights)
+        cdf_array /= cdf_array[-1]
+        cdf = cdf_array.tolist()
+        last_index = len(self.phases) - 1
+        switch_prob = 1.0 / self.mean_dwell_windows
+        schedule = np.empty(n_windows, dtype=np.intp)
+        current = min(bisect_right(cdf, buffer[0]), last_index)
+        schedule[0] = current
+        position = 1
+        for i in range(1, n_windows):
+            switch = buffer[position] < switch_prob
+            position += 1
+            if switch:
+                current = min(bisect_right(cdf, buffer[position]), last_index)
+                position += 1
+            schedule[i] = current
+        rng.bit_generator.state = state
+        rng.random(position)
+        return schedule
+
+    def _phase_schedule_scalar(
+        self, n_windows: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw-by-draw schedule loop (differential reference)."""
         schedule = np.empty(n_windows, dtype=np.intp)
         switch_prob = 1.0 / self.mean_dwell_windows
         current = int(rng.choice(len(self.phases), p=self._weights))

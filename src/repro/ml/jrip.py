@@ -20,11 +20,77 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import fitmode
 from repro.ml.base import Classifier, check_features, check_training_set
 
 _EPS = 1e-12
 #: Cap on candidate thresholds examined per attribute per growth step.
 _MAX_THRESHOLDS = 48
+
+
+#: Interior quantile grid used when an attribute has too many distinct values.
+_QUANTILE_GRID = np.linspace(0, 1, _MAX_THRESHOLDS + 2)[1:-1]
+
+
+def _sorted_quantiles(sorted_values: np.ndarray, qs: np.ndarray) -> np.ndarray:
+    """``np.quantile(values, qs)`` on pre-sorted data, bitwise identical.
+
+    Replicates numpy's ``linear`` method — virtual index ``q * (n - 1)``
+    and its two-sided lerp (``b - diff * (1 - t)`` when ``t >= 0.5``) —
+    without re-partitioning the data or the per-call dispatch overhead,
+    which dominates JRip's grow loop.
+    """
+    n = sorted_values.size
+    virtual = qs * (n - 1)
+    previous = np.floor(virtual)
+    t = virtual - previous
+    lo = previous.astype(np.intp)
+    hi = np.minimum(lo + 1, n - 1)
+    a = sorted_values[lo]
+    b = sorted_values[hi]
+    diff = b - a
+    out = a + diff * t
+    upper = t >= 0.5
+    out[upper] = b[upper] - diff[upper] * (1.0 - t[upper])
+    return out
+
+
+def _dedupe_sorted(sorted_values: np.ndarray) -> np.ndarray:
+    """Distinct values of a sorted array (``np.unique`` minus the sort)."""
+    if sorted_values.size == 0:
+        return sorted_values
+    keep = np.empty(sorted_values.size, dtype=bool)
+    keep[0] = True
+    np.not_equal(sorted_values[1:], sorted_values[:-1], out=keep[1:])
+    return sorted_values[keep]
+
+
+def _attribute_thresholds(column: np.ndarray) -> np.ndarray | None:
+    """Candidate thresholds of one attribute (midpoints of distinct values).
+
+    Shared by both fit paths so threshold construction can never differ
+    between them.  Returns ``None`` when the column is constant.
+    """
+    sorted_values = np.sort(column)
+    distinct = _dedupe_sorted(sorted_values)
+    if distinct.size < 2:
+        return None
+    if distinct.size > _MAX_THRESHOLDS:
+        # quantile output over monotone qs is already sorted
+        distinct = _dedupe_sorted(_sorted_quantiles(sorted_values, _QUANTILE_GRID))
+    return (distinct[:-1] + distinct[1:]) / 2.0
+
+
+def _prefix_masses(
+    wpos: np.ndarray, wneg: np.ndarray, prefix: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Positive/negative weight covered by each condition prefix.
+
+    ``prefix`` is the ``(n_rows, n_conditions)`` cumulative-conjunction
+    matrix.  Both prune paths call this one matvec, so gemv-vs-ddot
+    rounding cannot leak into the differential comparison.
+    """
+    return wpos @ prefix, wneg @ prefix
 
 
 @dataclass(frozen=True)
@@ -168,21 +234,29 @@ class JRip(Classifier):
         self, features: np.ndarray, positives: np.ndarray, weights: np.ndarray
     ) -> tuple[Condition, float] | None:
         """Best single condition by FOIL gain over current coverage."""
+        if fitmode.scalar_fit_enabled():
+            return self._candidate_conditions_scalar(features, positives, weights)
+        return self._candidate_conditions_batch(features, positives, weights)
+
+    def _candidate_conditions_scalar(
+        self, features: np.ndarray, positives: np.ndarray, weights: np.ndarray
+    ) -> tuple[Condition, float] | None:
+        """Per-attribute coverage products (differential reference).
+
+        Retained pre-vectorization hot path: one ``<=`` matrix and two
+        weight products per attribute, with the running strict-``>``
+        best-candidate update the batch path's first-argmax replicates.
+        """
         p0 = float(weights[positives].sum())
         n0 = float(weights[~positives].sum())
         if p0 <= 0:
             return None
         best: tuple[Condition, float] | None = None
         for j in range(features.shape[1]):
-            column = features[:, j]
-            distinct = np.unique(column)
-            if distinct.size < 2:
+            thresholds = _attribute_thresholds(features[:, j])
+            if thresholds is None:
                 continue
-            if distinct.size > _MAX_THRESHOLDS:
-                qs = np.linspace(0, 1, _MAX_THRESHOLDS + 2)[1:-1]
-                distinct = np.unique(np.quantile(column, qs))
-            thresholds = (distinct[:-1] + distinct[1:]) / 2.0
-            le = column[:, None] <= thresholds[None, :]
+            le = features[:, j][:, None] <= thresholds[None, :]
             wpos = weights * positives
             wneg = weights * (~positives)
             p_le = wpos @ le
@@ -193,6 +267,70 @@ class JRip(Classifier):
                 if gains[k] > _EPS and (best is None or gains[k] > best[1]):
                     best = (Condition(j, op, float(thresholds[k])), float(gains[k]))
         return best
+
+    def _candidate_conditions_batch(
+        self, features: np.ndarray, positives: np.ndarray, weights: np.ndarray
+    ) -> tuple[Condition, float] | None:
+        """All attributes' conditions scored by two stacked matvecs.
+
+        Every attribute's ``<=`` columns are packed into one boolean
+        matrix so a single ``weights @ matrix`` product replaces the
+        per-attribute products of the scalar reference (a contiguous
+        column block of a matvec is bitwise the standalone product).
+        Candidate gains are then laid out in the reference's visit order
+        — per attribute, ``<=`` block then ``>`` block — so a first
+        ``argmax`` reproduces its strict-``>`` tie-breaking exactly.
+        """
+        p0 = float(weights[positives].sum())
+        n0 = float(weights[~positives].sum())
+        if p0 <= 0:
+            return None
+        per_attr: list[tuple[int, np.ndarray]] = []
+        total = 0
+        for j in range(features.shape[1]):
+            thresholds = _attribute_thresholds(features[:, j])
+            if thresholds is None:
+                continue
+            per_attr.append((j, thresholds))
+            total += thresholds.size
+        if total == 0:
+            return None
+        le = np.empty((features.shape[0], total), dtype=bool)
+        offset = 0
+        for j, thresholds in per_attr:
+            le[:, offset : offset + thresholds.size] = (
+                features[:, j][:, None] <= thresholds[None, :]
+            )
+            offset += thresholds.size
+        wpos = weights * positives
+        wneg = weights * (~positives)
+        p_le = wpos @ le
+        n_le = wneg @ le
+        gains_le = _foil_gain(p0, n0, p_le, n_le)
+        gains_gt = _foil_gain(p0, n0, p0 - p_le, n0 - n_le)
+        # reference visit order: per attribute, all "<=" then all ">"
+        ordered = np.empty(2 * total)
+        offset = 0
+        for j, thresholds in per_attr:
+            size = thresholds.size
+            ordered[2 * offset : 2 * offset + size] = gains_le[offset : offset + size]
+            ordered[2 * offset + size : 2 * (offset + size)] = gains_gt[
+                offset : offset + size
+            ]
+            offset += size
+        k = int(np.argmax(ordered))
+        if ordered[k] <= _EPS:
+            return None
+        offset = 0
+        for j, thresholds in per_attr:
+            size = thresholds.size
+            if k < 2 * (offset + size):
+                in_attr = k - 2 * offset
+                op = "<=" if in_attr < size else ">"
+                threshold = thresholds[in_attr % size]
+                return (Condition(j, op, float(threshold)), float(ordered[k]))
+            offset += size
+        raise AssertionError("argmax index out of candidate range")
 
     def _grow_rule(
         self, features: np.ndarray, labels: np.ndarray, weights: np.ndarray
@@ -224,17 +362,38 @@ class JRip(Classifier):
     def _prune_rule(
         self, rule: Rule, features: np.ndarray, labels: np.ndarray, weights: np.ndarray
     ) -> Rule:
-        """Suffix-prune the rule to maximize (p-n)/(p+n) on the prune set."""
+        """Suffix-prune the rule to maximize (p-n)/(p+n) on the prune set.
+
+        Both paths build the ``(n_rows, n_conditions)`` prefix-coverage
+        matrix — the scalar reference one ``covers`` conjunction at a
+        time, the fast path with one stacked comparison and a segmented
+        ``logical_and.accumulate`` — and feed it to the shared
+        :func:`_prefix_masses` matvec, so the suffix-selection sweep sees
+        bit-identical scores either way.
+        """
+        if not rule.conditions:
+            return Rule(conditions=[], class_counts=np.zeros(2))
         positives = labels == self.positive_class_
+        if fitmode.scalar_fit_enabled():
+            prefix = np.empty((features.shape[0], len(rule.conditions)), dtype=bool)
+            covered = np.ones(features.shape[0], dtype=bool)
+            for k, condition in enumerate(rule.conditions):
+                covered = covered & condition.covers(features)
+                prefix[:, k] = covered
+        else:
+            attributes = np.array([c.attribute for c in rule.conditions], dtype=np.intp)
+            thresholds = np.array([c.threshold for c in rule.conditions])
+            negate = np.array([c.op == ">" for c in rule.conditions])
+            satisfied = (features[:, attributes] <= thresholds) ^ negate
+            prefix = np.logical_and.accumulate(satisfied, axis=1)
+        p_mass, n_mass = _prefix_masses(
+            weights * positives, weights * (~positives), prefix
+        )
         best_len = len(rule.conditions)
         best_score = -np.inf
-        covered = np.ones(features.shape[0], dtype=bool)
-        scores = []
-        for k, condition in enumerate(rule.conditions, start=1):
-            covered &= condition.covers(features)
-            p = float(weights[covered & positives].sum())
-            n = float(weights[covered & ~positives].sum())
-            scores.append(self._prune_metric(p, n))
+        scores = [
+            self._prune_metric(float(p), float(n)) for p, n in zip(p_mass, n_mass)
+        ]
         for k in range(len(scores), 0, -1):
             if scores[k - 1] > best_score + _EPS:
                 best_score = scores[k - 1]

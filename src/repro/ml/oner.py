@@ -15,7 +15,50 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import fitmode
 from repro.ml.base import Classifier, check_features, check_training_set, proba_from_counts
+
+
+def _run_cumulative_masses(
+    values: np.ndarray, labels: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sorted run values and cumulative per-class run masses.
+
+    Sorts one attribute, collapses equal-value runs (a 1R bucket can
+    never cut inside a run), and returns ``(run_values, cum0, cum1)``
+    where ``cum{c}[r]`` is the class-``c`` weight of runs ``0..r``.
+    Shared by both bucketing paths: ``np.add.reduceat`` sums segments
+    pairwise, not sequentially, so the reference must consume the same
+    run masses for the bucket masses — defined as cumulative-minus-base
+    differences — to be comparable bitwise.
+    """
+    if values.size == 0:
+        empty = np.empty(0)
+        return empty, empty.copy(), empty.copy()
+    order = np.argsort(values, kind="stable")
+    v, y, w = values[order], labels[order], weights[order]
+    starts = np.concatenate(([0], np.flatnonzero(v[1:] != v[:-1]) + 1))
+    w0 = np.where(y == 0, w, 0.0)
+    w1 = np.where(y == 1, w, 0.0)
+    cum0 = np.cumsum(np.add.reduceat(w0, starts))
+    cum1 = np.cumsum(np.add.reduceat(w1, starts))
+    return v[starts], cum0, cum1
+
+
+def _merge_buckets(cuts: np.ndarray, counts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Merge adjacent buckets that agree on the majority class.
+
+    Holte's 1R simplification: the rule's predictions are identical
+    either way, and the merged rule is simpler (fewer hardware
+    comparators).  Shared tail of both bucketing paths: grouping by each
+    bucket's own argmax matches the reference's running-majority merge
+    because summing buckets with a common majority class can never flip
+    it (float addition is monotone).
+    """
+    majority = counts.argmax(axis=1)
+    change = majority[1:] != majority[:-1]
+    starts = np.concatenate(([0], np.flatnonzero(change) + 1))
+    return cuts[np.flatnonzero(change)], np.add.reduceat(counts, starts, axis=0)
 
 
 class OneR(Classifier):
@@ -44,55 +87,128 @@ class OneR(Classifier):
     ) -> tuple[np.ndarray, np.ndarray]:
         """Holte-style 1R bucketing of one numeric attribute.
 
+        Both paths share the sorted-run prologue
+        (:func:`_run_cumulative_masses`) and define every bucket's class
+        mass as a cumulative-minus-base difference; a bucket closes at
+        the first run boundary where the majority mass reaches
+        ``min_bucket_size``.  The scalar reference scans runs one Python
+        iteration at a time; the fast path jumps straight to each
+        closing boundary with two ``searchsorted`` probes (the cumsums
+        are nondecreasing) plus a local fixup that re-checks the exact
+        protocol comparison, since ``cum - base >= t`` and
+        ``cum >= base + t`` can disagree within one ulp.
+
         Returns:
             ``(cut_points, bucket_counts)`` where ``bucket_counts`` has
             shape ``(n_buckets, 2)`` of weighted class mass per bucket.
         """
-        order = np.argsort(values, kind="stable")
-        v, y, w = values[order], labels[order], weights[order]
-        cuts: list[float] = []
-        counts: list[np.ndarray] = []
-        current = np.zeros(2)
-        i = 0
-        n = len(v)
-        while i < n:
-            # absorb the whole run of equal values (cannot cut inside it)
-            j = i
-            while j < n and v[j] == v[i]:
-                current[y[j]] += w[j]
-                j += 1
-            majority_mass = current.max()
-            if majority_mass >= self.min_bucket_size and j < n:
-                # the left bucket owns value <= cut; when the midpoint of
-                # two adjacent floats rounds up onto the right value, fall
-                # back to the left value so neither training value crosses
-                # the boundary it was counted on
-                cut = (v[j - 1] + v[j]) / 2.0
-                if cut >= v[j]:
-                    cut = v[j - 1]
-                cuts.append(cut)
-                counts.append(current)
-                current = np.zeros(2)
-            i = j
-        if current.sum() > 0:
-            counts.append(current)
-        elif counts:
-            # trailing empty bucket: drop the last cut
-            cuts.pop()
-        if not counts:
-            counts = [np.zeros(2)]
-        # Holte's 1R merges adjacent buckets that agree on the majority
-        # class: the rule's predictions are identical either way, and the
-        # merged rule is simpler (fewer hardware comparators).
-        merged_cuts: list[float] = []
-        merged_counts: list[np.ndarray] = [counts[0]]
-        for cut, bucket in zip(cuts, counts[1:]):
-            if int(bucket.argmax()) == int(merged_counts[-1].argmax()):
-                merged_counts[-1] = merged_counts[-1] + bucket
-            else:
-                merged_cuts.append(cut)
-                merged_counts.append(bucket)
-        return np.asarray(merged_cuts), np.vstack(merged_counts)
+        run_values, cum0, cum1 = _run_cumulative_masses(values, labels, weights)
+        if fitmode.scalar_fit_enabled():
+            closings = self._sweep_scalar(cum0, cum1)
+        else:
+            closings = self._sweep_fast(cum0, cum1)
+        cuts, counts = self._assemble_buckets(run_values, cum0, cum1, closings)
+        if counts.shape[0] == 0:
+            counts = np.zeros((1, 2))
+        return _merge_buckets(cuts, counts)
+
+    def _sweep_scalar(self, cum0: np.ndarray, cum1: np.ndarray) -> list[int]:
+        """Run-by-run bucket sweep (differential reference).
+
+        Returns the run indices at which buckets close.
+        """
+        threshold = self.min_bucket_size
+        n_runs = cum0.size
+        closings: list[int] = []
+        base0 = 0.0
+        base1 = 0.0
+        for r in range(n_runs - 1):
+            if cum0[r] - base0 >= threshold or cum1[r] - base1 >= threshold:
+                closings.append(r)
+                base0 = float(cum0[r])
+                base1 = float(cum1[r])
+        return closings
+
+    def _sweep_fast(self, cum0: np.ndarray, cum1: np.ndarray) -> list[int]:
+        """Searchsorted bucket sweep, bit-identical to the scalar scan.
+
+        Each bucket's closing boundary is located with two binary probes
+        on the nondecreasing cumsums instead of a run-by-run walk, then
+        adjusted with the exact protocol comparison: ``cum - base >= t``
+        and ``cum >= base + t`` can disagree within one ulp.
+        """
+        threshold = self.min_bucket_size
+        n_runs = cum0.size
+        closings: list[int] = []
+        if n_runs == 0:
+            return closings
+        # first crossing from every possible base, two vectorized probes
+        jump = np.minimum(
+            cum0.searchsorted(cum0 + threshold, side="left"),
+            cum1.searchsorted(cum1 + threshold, side="left"),
+        ).tolist()
+        first = min(
+            int(cum0.searchsorted(threshold, side="left")),
+            int(cum1.searchsorted(threshold, side="left")),
+        )
+        base0 = 0.0
+        base1 = 0.0
+        start = 0
+        base = -1
+        while start < n_runs - 1:
+            r = max(first if base < 0 else jump[base], start)
+            while r > start and (
+                cum0[r - 1] - base0 >= threshold or cum1[r - 1] - base1 >= threshold
+            ):
+                r -= 1
+            while r < n_runs and not (
+                cum0[r] - base0 >= threshold or cum1[r] - base1 >= threshold
+            ):
+                r += 1
+            if r >= n_runs - 1:
+                break  # crossing at the last run (or never): final bucket
+            closings.append(r)
+            base = r
+            base0 = float(cum0[r])
+            base1 = float(cum1[r])
+            start = r + 1
+        return closings
+
+    @staticmethod
+    def _assemble_buckets(
+        run_values: np.ndarray,
+        cum0: np.ndarray,
+        cum1: np.ndarray,
+        closings: list[int],
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Cut points and class masses from the closing run indices.
+
+        Shared by both sweep paths.  Bucket masses are consecutive
+        cumulative differences — exactly the ``cum[r] - base`` values the
+        sweeps compared against the bucket-size threshold.
+        """
+        n_runs = run_values.size
+        if n_runs == 0:
+            return np.empty(0), np.zeros((0, 2))
+        rs = np.asarray(closings, dtype=np.intp)
+        left = run_values[rs]
+        right = run_values[rs + 1]
+        cuts = (left + right) / 2.0
+        # the left bucket owns value <= cut; when the midpoint of two
+        # adjacent floats rounds up onto the right value, fall back to
+        # the left value so neither training value crosses the boundary
+        # it was counted on
+        cuts = np.where(cuts >= right, left, cuts)
+        bounds = np.concatenate((rs, [n_runs - 1]))
+        c0 = np.diff(cum0[bounds], prepend=0.0)
+        c1 = np.diff(cum1[bounds], prepend=0.0)
+        if c0[-1] + c1[-1] > 0:
+            counts = np.column_stack((c0, c1))
+        else:
+            # trailing empty bucket: drop it and the last cut
+            cuts = cuts[:-1]
+            counts = np.column_stack((c0[:-1], c1[:-1]))
+        return cuts, counts
 
     def fit(
         self,

@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import fitmode
+
 _EPS = 1e-12
 
 
@@ -143,19 +145,38 @@ def best_split_for_attribute(
     return threshold, float(gains[best]), float(ratios[best])
 
 
-def find_split(
+def _select_split(candidates: list[Split], use_gain_ratio: bool) -> Split | None:
+    """Pick the winning split from per-attribute candidates.
+
+    With ``use_gain_ratio`` (C4.5/J48) the winner is the highest gain
+    *ratio* among splits whose raw gain is at least the average positive
+    gain — C4.5's guard against the ratio favouring near-trivial splits.
+    Otherwise (REPTree) plain information gain decides.
+
+    Shared verbatim by the scalar and batch split searches so that tie
+    breaking and the mean-gain reduction order cannot drift between them.
+    """
+    if not candidates:
+        return None
+    if not use_gain_ratio:
+        return max(candidates, key=lambda s: s.gain)
+    mean_gain = sum(s.gain for s in candidates) / len(candidates)
+    eligible = [s for s in candidates if s.gain >= mean_gain - _EPS]
+    return max(eligible, key=lambda s: s.gain_ratio)
+
+
+def find_split_scalar(
     features: np.ndarray,
     labels: np.ndarray,
     weights: np.ndarray,
     min_leaf_weight: float,
     use_gain_ratio: bool,
 ) -> Split | None:
-    """Search all attributes for the best split.
+    """Per-attribute split search (pre-vectorization reference).
 
-    With ``use_gain_ratio`` (C4.5/J48) the winner is the highest gain
-    *ratio* among splits whose raw gain is at least the average positive
-    gain — C4.5's guard against the ratio favouring near-trivial splits.
-    Otherwise (REPTree) plain information gain decides.
+    One :func:`best_split_for_attribute` call — sort, cumulative class
+    counts, boundary sweep — per attribute.  Retained as the differential
+    reference for :func:`find_split_batch`.
     """
     candidates: list[Split] = []
     for j in range(features.shape[1]):
@@ -165,13 +186,96 @@ def find_split(
         threshold, gain, ratio = found
         if gain > _EPS:
             candidates.append(Split(j, threshold, gain, ratio))
-    if not candidates:
+    return _select_split(candidates, use_gain_ratio)
+
+
+def find_split_batch(
+    features: np.ndarray,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    min_leaf_weight: float,
+    use_gain_ratio: bool,
+) -> Split | None:
+    """Split search over *all* attributes in one vectorized sweep.
+
+    Sorts every feature column at once, builds per-column cumulative
+    weighted class counts, and evaluates every candidate boundary of
+    every attribute simultaneously; invalid positions (equal-value runs,
+    leaves below ``min_leaf_weight``) are masked to ``-inf`` before a
+    per-column first-argmax.  Every arithmetic step mirrors
+    :func:`best_split_for_attribute` elementwise — axis-0 ``cumsum`` of a
+    2-D array is computed per column exactly like the 1-D cumsums of the
+    scalar path, and a masked full-column argmax picks the same first
+    maximum as the scalar path's argmax over compacted candidates — so
+    the produced :class:`Split` is bit-identical.
+    """
+    n, d = features.shape
+    if n < 2:
         return None
-    if not use_gain_ratio:
-        return max(candidates, key=lambda s: s.gain)
-    mean_gain = sum(s.gain for s in candidates) / len(candidates)
-    eligible = [s for s in candidates if s.gain >= mean_gain - _EPS]
-    return max(eligible, key=lambda s: s.gain_ratio)
+    order = np.argsort(features, axis=0, kind="stable")
+    v = np.take_along_axis(features, order, axis=0)
+    y = labels[order]
+    w = weights[order]
+    w0 = np.where(y == 0, w, 0.0)
+    w1 = np.where(y == 1, w, 0.0)
+    cum0 = np.cumsum(w0, axis=0)
+    cum1 = np.cumsum(w1, axis=0)
+    total0, total1 = cum0[-1], cum1[-1]
+    total = total0 + total1
+
+    boundary = np.diff(v, axis=0) > 0  # (n-1, d)
+    left0, left1 = cum0[:-1], cum1[:-1]
+    right0, right1 = total0 - left0, total1 - left1
+    wl = left0 + left1
+    wr = right0 + right1
+    ok = boundary & (wl >= min_leaf_weight) & (wr >= min_leaf_weight)
+
+    def ent(c0: np.ndarray, c1: np.ndarray, mass: np.ndarray) -> np.ndarray:
+        denom = np.maximum(mass, _EPS)
+        p0 = np.clip(c0 / denom, _EPS, 1.0)
+        p1 = np.clip(c1 / denom, _EPS, 1.0)
+        return -(p0 * np.log(p0) + p1 * np.log(p1))
+
+    with np.errstate(divide="ignore", invalid="ignore"):
+        children = (wl * ent(left0, left1, wl) + wr * ent(right0, right1, wr)) / total
+        # entropy() of the parent counts, term-summed: a zero class
+        # contributes an exact 0.0, matching the scalar filtered sum.
+        safe_total = np.where(total > 0, total, 1.0)
+        pp0 = np.where(total0 > 0, total0 / safe_total, 1.0)
+        pp1 = np.where(total1 > 0, total1 / safe_total, 1.0)
+        parent = -(
+            np.where(total0 > 0, pp0 * np.log(pp0), 0.0)
+            + np.where(total1 > 0, pp1 * np.log(pp1), 0.0)
+        )
+        gains = parent - children
+        pl, pr = wl / total, wr / total
+        split_info = -(pl * np.log(pl) + pr * np.log(pr))
+        ratios = gains / np.maximum(split_info, _EPS)
+
+    gains_masked = np.where(ok, gains, -np.inf)
+    best_rows = np.argmax(gains_masked, axis=0)
+    cols = np.arange(d)
+    best_gains = gains_masked[best_rows, cols]
+
+    candidates: list[Split] = []
+    for j in np.flatnonzero(best_gains > _EPS):
+        i = best_rows[j]
+        threshold = (v[i, j] + v[i + 1, j]) / 2.0
+        candidates.append(Split(int(j), float(threshold), float(gains[i, j]), float(ratios[i, j])))
+    return _select_split(candidates, use_gain_ratio)
+
+
+def find_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    min_leaf_weight: float,
+    use_gain_ratio: bool,
+) -> Split | None:
+    """Search all attributes for the best split (dispatching entry point)."""
+    if fitmode.scalar_fit_enabled():
+        return find_split_scalar(features, labels, weights, min_leaf_weight, use_gain_ratio)
+    return find_split_batch(features, labels, weights, min_leaf_weight, use_gain_ratio)
 
 
 def grow_tree(

@@ -1,0 +1,115 @@
+"""Differential tests: vectorized phase-mixture sampler vs scalar paths.
+
+The workload model's two rng-consuming hot spots — the per-window phase
+schedule and the per-application parameter perturbation — were rewritten
+to draw in bulk.  Both must be *bit identical* to the retained scalar
+references: same outputs from the same generator state AND the same
+stream position afterwards, so everything sampled later in a corpus
+build (weight jitter, window noise, sibling applications) is untouched.
+Stream position is asserted by drawing one more uniform after each path
+and comparing it, which fails if the fast path over- or under-consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import fitmode
+from repro.hpc.microarch import ApplicationBehavior, PhaseMix, PhaseParameters
+
+
+def _behavior(weights, mean_dwell):
+    phases = [PhaseMix(PhaseParameters(ipc=0.5 + 0.1 * k), w) for k, w in enumerate(weights)]
+    return ApplicationBehavior("app", phases, mean_dwell_windows=mean_dwell)
+
+
+def _both_paths(call, seed):
+    """Run ``call(rng)`` through both fit modes from identical states.
+
+    Returns ``(fast, scalar)`` pairs of ``(result, next_uniform)``.
+    """
+    rng = np.random.default_rng(seed)
+    fast = (call(rng), rng.random())
+    with fitmode.scalar_fit():
+        rng = np.random.default_rng(seed)
+        ref = (call(rng), rng.random())
+    return fast, ref
+
+
+# ------------------------------------------------------- phase schedule
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 100_000),
+    n_phases=st.integers(1, 6),
+    n_windows=st.integers(1, 80),
+    mean_dwell=st.floats(1.0, 20.0, allow_nan=False),
+)
+def test_phase_schedule_matches_scalar(seed, n_phases, n_windows, mean_dwell):
+    rng = np.random.default_rng(seed + 7)
+    weights = rng.uniform(0.05, 1.0, size=n_phases)
+    app = _behavior(weights, mean_dwell)
+    (fast, fast_next), (ref, ref_next) = _both_paths(
+        lambda r: app.phase_schedule(n_windows, r), seed
+    )
+    assert np.array_equal(fast, ref)
+    assert fast.dtype == ref.dtype
+    assert fast_next == ref_next  # identical stream position afterwards
+
+
+def test_phase_schedule_spans_all_phases_eventually():
+    app = _behavior([1.0, 1.0, 1.0], mean_dwell=2.0)
+    schedule = app.phase_schedule(500, np.random.default_rng(3))
+    assert set(np.unique(schedule)) == {0, 1, 2}
+
+
+def test_phase_schedule_zero_windows_consumes_no_draws():
+    """Regression: an empty schedule used to burn one phase draw, which
+    shifted every subsequent draw of the corpus build."""
+    app = _behavior([0.7, 0.3], mean_dwell=4.0)
+    first_draw = np.random.default_rng(9).random()
+    rng = np.random.default_rng(9)
+    schedule = app.phase_schedule(0, rng)
+    assert schedule.size == 0
+    assert rng.random() == first_draw
+    with fitmode.scalar_fit():
+        rng = np.random.default_rng(9)
+        assert app.phase_schedule(0, rng).size == 0
+        assert rng.random() == first_draw
+
+
+# ------------------------------------------------------------ perturbed
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000), sigma=st.floats(0.0, 0.5, allow_nan=False))
+def test_perturbed_matches_scalar(seed, sigma):
+    params = PhaseParameters()
+    (fast, fast_next), (ref, ref_next) = _both_paths(
+        lambda r: params.perturbed(r, sigma), seed
+    )
+    assert fast == ref  # dataclass equality: every field bit-identical
+    assert fast_next == ref_next
+
+
+def test_perturbed_respects_field_ceilings():
+    params = PhaseParameters()
+    out = params.perturbed(np.random.default_rng(0), sigma=50.0)
+    for field, value in vars(out).items():
+        if field == "noise_sigma":
+            continue
+        ceiling = 4.0 if field in ("ipc", "prefetch_intensity") else 1.0
+        assert 1e-6 <= value <= ceiling, field
+
+
+# ----------------------------------------------------- corpus-level sweep
+def test_corpus_build_identical_across_fit_modes():
+    """End-to-end: the full corpus builder draws the same windows on both
+    paths (families -> apps -> perturbed params -> schedules -> traces)."""
+    from repro.workloads import default_corpus
+
+    fast = default_corpus(seed=77, windows_per_app=3)
+    with fitmode.scalar_fit():
+        ref = default_corpus(seed=77, windows_per_app=3)
+    assert np.array_equal(fast.features, ref.features)
+    assert np.array_equal(fast.labels, ref.labels)
