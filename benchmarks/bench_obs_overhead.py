@@ -14,13 +14,23 @@ essentially nothing.  This bench pins that contract two ways:
    are the same code path, so this is a tautology check), and the
    *enabled* overhead on a real grid slice stays small relative to
    detector training time.
+
+``REPRO_BENCH_QUICK=1`` shrinks the corpus and the grid slice for CI
+smoke runs.  Results land in ``BENCH_obs.json`` (cwd, or
+``$REPRO_BENCH_DIR``) so CI can track the trajectory across PRs.
 """
 
+import json
+import os
 import time
+from pathlib import Path
 
 from repro.analysis.matrix import MatrixRunner
 from repro.core.config import DetectorConfig
 from repro.obs import NULL_REGISTRY, NULL_TRACER, Registry, Tracer
+from repro.workloads import default_corpus
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 SPLIT_SEED = 7  # matches conftest.SPLIT_SEED
 
@@ -28,10 +38,10 @@ SPLIT_SEED = 7  # matches conftest.SPLIT_SEED
 SLICE = [
     DetectorConfig("OneR", ensemble, n_hpcs)
     for ensemble in ("general", "boosted")
-    for n_hpcs in (4, 2)
+    for n_hpcs in ((4,) if QUICK else (4, 2))
 ]
 
-MICRO_OPS = 100_000
+MICRO_OPS = 20_000 if QUICK else 100_000
 #: Generous ceiling; a disabled op is an attr lookup + no-op call.
 MAX_DISABLED_OP_SECONDS = 5e-6
 
@@ -43,7 +53,13 @@ def _per_op(func, n=MICRO_OPS):
     return (time.perf_counter() - start) / n
 
 
+def _bench_out_path():
+    return Path(os.environ.get("REPRO_BENCH_DIR", ".")) / "BENCH_obs.json"
+
+
 def test_disabled_telemetry_is_effectively_free(benchmark, corpus):
+    if QUICK:
+        corpus = default_corpus(seed=2018, windows_per_app=6)
     tracer = Tracer(enabled=False)
     registry = Registry(enabled=False)
     counter = registry.counter("c")
@@ -90,3 +106,22 @@ def test_disabled_telemetry_is_effectively_free(benchmark, corpus):
     print(f"enabled-telemetry slice: {traced_seconds:.3f}s for {len(SLICE)} cells")
     assert plain.tracer is NULL_TRACER
     assert plain.metrics is NULL_REGISTRY
+
+    out = _bench_out_path()
+    out.write_text(
+        json.dumps(
+            {
+                "bench": "obs",
+                "quick": QUICK,
+                "micro_ops": MICRO_OPS,
+                "disabled_span_seconds": per_span,
+                "disabled_counter_inc_seconds": per_inc,
+                "disabled_histogram_observe_seconds": per_obs,
+                "grid_cells": len(SLICE),
+                "enabled_slice_seconds": traced_seconds,
+                "records_match_baseline": traced_records == baseline_records,
+            },
+            indent=1,
+        )
+    )
+    print(f"wrote {out}")

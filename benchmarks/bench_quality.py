@@ -1,0 +1,276 @@
+"""Quality-tracking cost and drift-detection latency.
+
+The quality tracker sits next to the verdict path, so three numbers
+gate whether drift observability is acceptable at run time:
+
+1. Verdict integrity: a serve run with ``quality=`` enabled must emit
+   verdicts bit-identical to a ``quality=None`` run over the same
+   seeded jobs.  CI fails on any disagreement.
+2. Overhead: the enabled worker path shares one reduce + one
+   probability pass between the verdict and the drift scorer
+   (:meth:`~repro.core.detector.HMDDetector.grade_windows`), so serve
+   throughput with tracking on must stay within 10% of the
+   ``quality=None`` baseline (best-of-rounds on both sides), and the
+   disabled path must cost one attribute check.
+3. Detection latency: feeding a :class:`QualityTracker` evasion-shifted
+   corpora directly (deterministic timestamps, no threads) pins how
+   many live feature windows each shift strength needs before the
+   default PSI rule fires — and that a stationary held-out stream
+   never fires it (false-alarm count 0).
+
+``REPRO_BENCH_QUICK=1`` shrinks the corpus and the round counts for CI
+smoke runs; the bit-identity and false-alarm assertions run identically
+in both modes.  Results land in ``BENCH_quality.json`` (cwd, or
+``$REPRO_BENCH_DIR``) so CI can track the trajectory across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.config import DetectorConfig
+from repro.core.detector import HMDDetector
+from repro.ml import app_level_split
+from repro.obs import QualityTracker, build_reference_profile
+from repro.serve import DetectionService, ServeJob
+from repro.workloads import (
+    BENIGN_FAMILIES,
+    MALWARE,
+    MALWARE_FAMILIES,
+    CorpusBuilder,
+    default_corpus,
+    evasive_families,
+)
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+CORPUS_SEED = 2018
+SPLIT_SEED = 7
+WINDOWS_PER_APP = 6 if QUICK else 12
+#: Windows per served execution in the overhead loop.  Deliberately on
+#: the long side: the tracker's per-execution cost is fixed (binning is
+#: vectorized, scoring runs once per observation) while serve cost
+#: scales with windows, so short executions overstate relative overhead.
+SERVE_WINDOWS = 40
+#: Passes over the family list forming the serve job stream.
+SERVE_ROUNDS = 2
+#: Serve geometry for the throughput comparison.
+PRODUCERS, WORKERS, QUEUE_DEPTH = 2, 2, 64
+#: Timing rounds for the best-of-rounds throughput comparison.
+TIMING_ROUNDS = 4 if QUICK else 5
+#: Enabled-path throughput floor relative to the quality=None baseline.
+MIN_THROUGHPUT_RATIO = 0.9
+
+#: Evasion strengths swept for windows-to-alert latency.
+SHIFT_STRENGTHS = (0.2, 0.4, 0.8)
+#: Passes over the live corpus before declaring a strength undetected.
+MAX_FEED_ROUNDS = 4 if QUICK else 6
+
+MICRO_OPS = 100_000
+#: Same ceiling the other obs benches pin for a disabled-path check.
+MAX_DISABLED_OP_SECONDS = 5e-6
+
+CONFIG = DetectorConfig("REPTree", "boosted", 4)
+
+
+def _bench_out_path():
+    return Path(os.environ.get("REPRO_BENCH_DIR", ".")) / "BENCH_quality.json"
+
+
+def _fit_detector():
+    corpus = default_corpus(seed=CORPUS_SEED, windows_per_app=WINDOWS_PER_APP)
+    split = app_level_split(corpus, 0.7, seed=SPLIT_SEED)
+    detector = HMDDetector(CONFIG).fit(split.train)
+    return split, detector
+
+
+def _serve_jobs():
+    """Deterministic serve job stream (reseeded per call)."""
+    rng = np.random.default_rng(CORPUS_SEED + 100)
+    return [
+        ServeJob(family.instantiate(rng)[0], SERVE_WINDOWS, family.label == MALWARE)
+        for _ in range(SERVE_ROUNDS)
+        for family in BENIGN_FAMILIES + MALWARE_FAMILIES
+    ]
+
+
+def _serve_pass(detector, quality):
+    """One seeded serve run; per-execution pools make traces identical
+    across passes regardless of the quality hook."""
+    service = DetectionService(
+        detector,
+        producers=PRODUCERS,
+        workers=WORKERS,
+        queue_depth=QUEUE_DEPTH,
+        pool_seed=CORPUS_SEED + 7000,
+        quality=quality,
+    )
+    return service.run(_serve_jobs())
+
+
+def _feed_corpus(profile, detector, dataset, rounds):
+    """Feed every app of ``dataset`` to a fresh tracker, ``rounds`` times.
+
+    Executions arrive one second apart and the sliding window spans
+    exactly one pass over the corpus, so after warm-up every evaluation
+    sees each application exactly once: a stationary replay of the
+    reference corpus reproduces the reference counts exactly (PSI 0.0
+    by construction), while a shifted corpus diverges at full coverage.
+    The evidence floor is pinned to the full reference window count so
+    no rule can evaluate a partial application mixture.  Returns the
+    tracker, the number of live feature windows observed when the first
+    rule fired (None if it never did), and the total windows fed.
+    """
+    reduced = detector.reducer.transform(dataset)
+    features = np.asarray(reduced.features, dtype=float)
+    apps = np.unique(reduced.app_ids)
+    tracker = QualityTracker(
+        profile, window_s=float(len(apps)), min_windows=profile.n_windows
+    )
+    ts = 0.0
+    windows_fed = 0
+    windows_to_alert = None
+    for _ in range(rounds):
+        for app in apps:
+            rows = features[reduced.app_ids == app]
+            scores = detector.model.decision_scores(rows)
+            flags = detector.model.predict(rows)
+            truth = bool(reduced.labels[reduced.app_ids == app][0] == MALWARE)
+            tracker.observe_execution(
+                "bench",
+                rows,
+                scores,
+                margin=float(flags.mean()) - 0.5,
+                truth=truth,
+                ts=ts,
+            )
+            ts += 1.0
+            windows_fed += rows.shape[0]
+            if windows_to_alert is None and tracker.drift_fired():
+                windows_to_alert = windows_fed
+    return tracker, windows_to_alert, windows_fed
+
+
+def test_quality_disabled_is_bit_identical_and_enabled_is_cheap():
+    split, detector = _fit_detector()
+    profile = build_reference_profile(detector, split.train)
+
+    # Bit-identity: same seeded job stream, with and without tracking.
+    baseline = _serve_pass(detector, quality=None)
+    tracker = QualityTracker(profile, window_s=1e9)
+    tracked = _serve_pass(detector, quality=tracker)
+    assert tracked.verdicts == baseline.verdicts
+    assert tracker.total_executions == len(baseline.verdicts)
+
+    # Throughput: interleaved best-of-rounds on both sides, so neither
+    # warm-up effects nor scheduler noise lands on just one of them.
+    base_rate = quality_rate = 0.0
+    for _ in range(TIMING_ROUNDS):
+        report = _serve_pass(detector, quality=None)
+        base_rate = max(base_rate, report.windows_per_second)
+        report = _serve_pass(
+            detector, quality=QualityTracker(profile, window_s=1e9)
+        )
+        quality_rate = max(quality_rate, report.windows_per_second)
+    ratio = quality_rate / base_rate
+
+    # Disabled path: the monitors guard the hook with one None check.
+    quality = None
+    start = time.perf_counter()
+    for _ in range(MICRO_OPS):
+        if quality is not None:
+            raise AssertionError("unreachable")
+    per_disabled_op = (time.perf_counter() - start) / MICRO_OPS
+
+    print()
+    print(
+        f"quality off: {base_rate:,.0f} windows/s  "
+        f"on: {quality_rate:,.0f} windows/s  ratio {ratio:.3f}  "
+        f"disabled check: {per_disabled_op * 1e9:.1f}ns"
+    )
+    assert ratio >= MIN_THROUGHPUT_RATIO
+    assert per_disabled_op < MAX_DISABLED_OP_SECONDS
+
+    out = _bench_out_path()
+    payload = {
+        "bench": "quality",
+        "quick": QUICK,
+        "config": CONFIG.name,
+        "windows_per_app": WINDOWS_PER_APP,
+        "serve_windows": SERVE_WINDOWS,
+        "serve_geometry": [PRODUCERS, WORKERS, QUEUE_DEPTH],
+        "baseline_windows_per_second": base_rate,
+        "quality_windows_per_second": quality_rate,
+        "throughput_ratio": ratio,
+        "disabled_check_seconds": per_disabled_op,
+        "verdicts_bit_identical": True,
+    }
+    out.write_text(json.dumps(payload, indent=1))
+    print(f"wrote {out}")
+
+
+def test_drift_detection_latency_and_stationary_silence():
+    split, detector = _fit_detector()
+    profile = build_reference_profile(detector, split.train)
+    families = BENIGN_FAMILIES + MALWARE_FAMILIES
+
+    # Stationary control: replay the training split itself — a live
+    # stream drawn from the reference distribution must never fire the
+    # default PSI rule.  (Held-out apps are *not* a stationary control:
+    # an app-level split changes the application mixture, which is real
+    # covariate novelty — the CLI smoke covers that case with a raised
+    # threshold.)
+    stationary, _, stationary_windows = _feed_corpus(
+        profile, detector, split.train, rounds=MAX_FEED_ROUNDS
+    )
+    stationary_fired = sum(s.fired_count for s in stationary.states)
+    stationary_psi = stationary.signals()["max_feature_psi"]
+
+    latencies = {}
+    for strength in SHIFT_STRENGTHS:
+        shifted_corpus = CorpusBuilder(
+            families=evasive_families(families, strength),
+            seed=CORPUS_SEED + 1,
+            windows_per_app=WINDOWS_PER_APP,
+        ).build()
+        tracker, windows_to_alert, fed = _feed_corpus(
+            profile, detector, shifted_corpus, rounds=MAX_FEED_ROUNDS
+        )
+        latencies[strength] = {
+            "windows_to_alert": windows_to_alert,
+            "windows_fed": fed,
+            "max_feature_psi": tracker.signals()["max_feature_psi"],
+        }
+
+    print()
+    print(
+        f"stationary: 0 alerts over {stationary_windows} windows "
+        f"(max PSI {stationary_psi:.3f}, floor {stationary.min_windows})"
+    )
+    for strength, row in latencies.items():
+        print(
+            f"shift {strength:.1f}: alert after "
+            f"{row['windows_to_alert']} windows "
+            f"(PSI {row['max_feature_psi']:.3f})"
+        )
+    assert stationary_fired == 0
+    # The strongest evasion sweep must be caught; weaker ones are
+    # recorded so the JSON tracks the sensitivity frontier across PRs.
+    assert latencies[0.8]["windows_to_alert"] is not None
+
+    out = _bench_out_path()
+    payload = json.loads(out.read_text()) if out.exists() else {"bench": "quality"}
+    payload["drift_latency"] = {
+        "min_windows_floor": stationary.min_windows,
+        "stationary_windows_fed": stationary_windows,
+        "stationary_false_alarms": stationary_fired,
+        "stationary_max_feature_psi": stationary_psi,
+        "shifts": {str(k): v for k, v in latencies.items()},
+    }
+    out.write_text(json.dumps(payload, indent=1))
+    print(f"wrote {out}")

@@ -5,6 +5,7 @@ Installed as ``repro-hmd``.  Subcommands:
 * ``corpus``   — build the synthetic corpus and write it to CSV/ARFF.
 * ``rank``     — reproduce Table 1 (feature ranking).
 * ``evaluate`` — train/evaluate one detector variant.
+* ``profile``  — capture a detector's drift reference profile.
 * ``matrix``   — run a slice of the paper's evaluation grid.
 * ``hardware`` — reproduce Table 3 (hardware cost estimates).
 * ``monitor``  — run-time detection demo on freshly executed applications.
@@ -24,9 +25,12 @@ accept ``--trace-out PATH`` (JSONL span/event trace) and
 — and free — unless one of them is given.
 ``monitor``/``fleet``/``serve`` additionally accept
 ``--health-out`` / ``--alerts`` / ``--alert`` / ``--slo`` to evaluate
-health in-process and write a final health report; ``watch`` follows
-the files of a live (or finished, with ``--once``) run and exits
-non-zero when a critical alert fired.
+health in-process and write a final health report, and
+``--quality-ref`` / ``--quality-out`` / ``--quality-alert`` to score
+the live stream against a ``profile``-captured reference for model
+drift; ``watch`` follows the files of a live (or finished, with
+``--once``) run and exits non-zero when a critical health or drift
+alert fired.
 ``fleet``/``serve`` accept ``--archive-dir DIR`` to rotate the finished
 run into the content-addressed fleet archive that ``report`` queries
 and ``replay`` re-drives.
@@ -73,9 +77,13 @@ from repro.obs import (
     MatrixProgressSink,
     MetricsError,
     MetricsFollower,
+    QualityError,
+    QualityTracker,
+    ReferenceProfile,
     Registry,
     TraceFollower,
     Tracer,
+    build_reference_profile,
     health_table,
     load_alert_rules,
     load_metrics,
@@ -85,6 +93,7 @@ from repro.obs import (
     merge_snapshots,
     metrics_table,
     parse_alert_spec,
+    parse_quality_alert_spec,
     parse_slo,
     span_table,
 )
@@ -136,6 +145,44 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print(f"{config.name}: accuracy={scores.accuracy:.3f} auc={scores.auc:.3f} "
           f"performance={scores.performance:.3f}")
     print(f"monitored events: {', '.join(detector.monitored_events)}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Train a detector and capture its drift reference profile.
+
+    Uses the same corpus/split/fit pipeline as ``monitor``/``fleet``/
+    ``serve``, so a profile built with matching flags describes exactly
+    the detector those commands deploy — hand the written file to their
+    ``--quality-ref`` to score the live stream against it.
+    """
+    corpus = _build_corpus(args)
+    split = app_level_split(corpus, 0.7, seed=args.split_seed)
+    config = DetectorConfig(args.classifier, args.ensemble, args.hpcs)
+    detector = HMDDetector(config).fit(split.train)
+    try:
+        profile = build_reference_profile(
+            detector,
+            split.train,
+            n_bins=args.bins,
+            vote_threshold=args.vote_threshold,
+            meta={
+                "command": "profile",
+                "seed": args.seed,
+                "windows": args.windows,
+                "split_seed": args.split_seed,
+                "config": config.name,
+            },
+        )
+        profile_id = profile.save(args.out)
+    except (OSError, QualityError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    print(
+        f"wrote reference profile {args.out} (id {profile_id[:12]}): "
+        f"{profile.n_features} features x {profile.feature_cells} cells, "
+        f"{profile.n_windows} training windows, detector {config.name}"
+    )
+    print(f"monitored events: {', '.join(profile.feature_names)}")
     return 0
 
 
@@ -368,6 +415,91 @@ def _health_rules_and_slos(args: argparse.Namespace) -> tuple[list, list]:
     return rules + list(args.alert or []), list(args.slo or [])
 
 
+def _quality_alert_spec(text: str) -> object:
+    try:
+        return parse_quality_alert_spec(text)
+    except HealthConfigError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
+def _add_quality_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quality-ref", default=None, metavar="PROFILE.json",
+        help="reference profile (from: repro-hmd profile --out) to score "
+        "live executions against for model drift",
+    )
+    parser.add_argument(
+        "--quality-out", default=None, metavar="PATH",
+        help="write a final quality report JSON (drift signals, per-feature "
+        "PSI/KS, alert states); needs --quality-ref",
+    )
+    parser.add_argument(
+        "--quality-alert", type=_quality_alert_spec, action="append",
+        metavar="SPEC",
+        help="inline drift alert rule, e.g. max_feature_psi>=0.25:critical"
+        " (same grammar as --alert over the drift signals); repeatable, "
+        "default: max_feature_psi>=0.25:critical with hysteresis clear 0.1",
+    )
+    parser.add_argument(
+        "--quality-window", type=float, default=60.0, metavar="SECONDS",
+        help="sliding live window for drift scoring (default 60)",
+    )
+    parser.add_argument(
+        "--quality-min-windows", type=int, default=None, metavar="N",
+        help="feature windows required before drift signals report "
+        "(default: 75%% of the profile's reference windows)",
+    )
+
+
+def _make_quality(
+    args: argparse.Namespace, tracer: Tracer, metrics: Registry
+) -> QualityTracker | None:
+    """Build the in-process drift tracker when --quality-ref asks.
+
+    Drift observations and alert transitions land in the run's
+    tracer/registry (and stderr), so ``--trace-out`` artifacts carry the
+    drift history for ``watch`` / ``report`` to consume.
+    """
+    if not args.quality_ref:
+        if args.quality_out or args.quality_alert:
+            raise SystemExit(
+                "error: --quality-out/--quality-alert need --quality-ref"
+            )
+        return None
+    try:
+        profile = ReferenceProfile.load(args.quality_ref)
+    except QualityError as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    return QualityTracker(
+        profile,
+        rules=args.quality_alert or None,
+        window_s=args.quality_window,
+        min_windows=args.quality_min_windows,
+        tracer=tracer,
+        metrics=metrics,
+        stream=sys.stderr,
+    )
+
+
+def _finish_quality(
+    args: argparse.Namespace, quality: QualityTracker | None
+) -> None:
+    if quality is None:
+        return
+    report = quality.report()
+    psi = report["signals"]["max_feature_psi"]
+    print(
+        f"quality: {report['totals']['executions']} executions / "
+        f"{report['totals']['windows']} windows scored, "
+        f"max feature PSI {'-' if psi != psi else format(psi, '.3f')}, "
+        f"drift alerts fired: {'yes' if report['drift_fired'] else 'no'}",
+        file=sys.stderr,
+    )
+    if args.quality_out:
+        quality.dump(args.quality_out)
+        print(f"wrote quality report {args.quality_out}", file=sys.stderr)
+
+
 def _make_health(
     args: argparse.Namespace, tracer: Tracer, metrics: Registry
 ) -> HealthEvaluator | None:
@@ -500,6 +632,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     with tracer.span("cli.fit", config=config.name):
         detector = HMDDetector(config).fit(split.train)
     health = _make_health(args, tracer, metrics)
+    quality = _make_quality(args, tracer, metrics)
     monitor = RuntimeMonitor(
         detector,
         n_counters=args.counters,
@@ -507,6 +640,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         tracer=tracer,
         metrics=metrics,
         health=health,
+        quality=quality,
     )
     pool = ContainerPool(seed=args.seed + 99)
     import numpy as np
@@ -528,6 +662,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
             )
     print(f"\napplication-level accuracy: {correct}/{total}")
     _finish_health(args, health)
+    _finish_quality(args, quality)
     _dump_obs(args, tracer, metrics)
     return 0
 
@@ -549,6 +684,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         else None
     )
     health = _make_health(args, tracer, metrics)
+    quality = _make_quality(args, tracer, metrics)
     fleet = FleetMonitor(
         detector,
         workers=args.fleet_workers,
@@ -560,6 +696,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         tracer=tracer,
         metrics=metrics,
         health=health,
+        quality=quality,
     )
     rng = np.random.default_rng(args.seed + 100)
     jobs = []
@@ -590,6 +727,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         f"mean confidence: {mean_conf:.2f}"
     )
     _finish_health(args, health)
+    _finish_quality(args, quality)
     _dump_obs(args, tracer, metrics)
     _archive_run(
         args, tracer, metrics,
@@ -629,6 +767,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         else None
     )
     health = _make_health(args, tracer, metrics)
+    quality = _make_quality(args, tracer, metrics)
     service = DetectionService(
         detector,
         producers=args.producers,
@@ -642,12 +781,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
         tracer=tracer,
         metrics=metrics,
         health=health,
+        quality=quality,
     )
     rng = np.random.default_rng(args.seed + 100)
+    families = BENIGN_FAMILIES + MALWARE_FAMILIES
+    if args.drift:
+        # Shift the whole live workload toward the branchy cover profile
+        # — the detector stays frozen on its training distribution, so
+        # this is the injected-drift scenario the quality tracker exists
+        # to catch (and the quality-smoke CI job asserts on).
+        from repro.workloads import evasive_families
+
+        families = evasive_families(families, args.drift)
     # Same host appears once per round, exercising the per-host sliding
     # vote window across executions.
     hosts = []
-    for family in (BENIGN_FAMILIES + MALWARE_FAMILIES)[:: args.stride]:
+    for family in families[:: args.stride]:
         app = family.instantiate(rng)[0]
         hosts.append((app, family.label == MALWARE))
     jobs = [
@@ -686,6 +835,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"host alerts: {len(report.alerts)}"
     )
     _finish_health(args, health)
+    _finish_quality(args, quality)
     _dump_obs(args, tracer, metrics)
     _archive_run(
         args, tracer, metrics,
@@ -862,6 +1012,22 @@ def cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _quality_transition(event: dict) -> tuple[int, int]:
+    """(transition, critical-firing) tally for one trace event.
+
+    ``quality.alert`` events are emitted by the in-process
+    :class:`~repro.obs.quality.QualityTracker`; ``watch`` gates on the
+    critical firings exactly like it gates on its own health rules.
+    """
+    if event.get("type") != "event" or event.get("name") != "quality.alert":
+        return 0, 0
+    attrs = event.get("attrs", {})
+    critical = (
+        attrs.get("severity") == "critical" and attrs.get("state") == "firing"
+    )
+    return 1, int(critical)
+
+
 def cmd_watch(args: argparse.Namespace) -> int:
     """Follow a run's trace/metrics pair and evaluate health live.
 
@@ -871,11 +1037,14 @@ def cmd_watch(args: argparse.Namespace) -> int:
     critical alert fired — the CI assertion mode.  Without it, the
     files are tailed and a refreshing health table renders every
     ``--interval`` seconds until Ctrl-C or ``--duration`` elapses.
+    Critical drift alerts (``quality.alert`` events a ``--quality-ref``
+    run recorded) trip the exit gate the same way health criticals do.
     """
     rules, slos = _health_rules_and_slos(args)
     evaluator = HealthEvaluator(
         rules=rules, slos=slos, window_s=args.health_window, stream=sys.stderr
     )
+    q_transitions = q_critical = 0
     if args.once:
         try:
             events = load_trace(args.trace)
@@ -884,6 +1053,9 @@ def cmd_watch(args: argparse.Namespace) -> int:
         last_ts = 0.0
         for event in events:
             evaluator.ingest(event)
+            t, c = _quality_transition(event)
+            q_transitions += t
+            q_critical += c
             last_ts = max(last_ts, float(event.get("ts", 0.0)))
         if args.metrics:
             try:
@@ -893,10 +1065,16 @@ def cmd_watch(args: argparse.Namespace) -> int:
             evaluator.absorb_metrics(snapshot, ts=last_ts)
             evaluator.tick(last_ts)
         print(health_table(evaluator.report()))
+        if q_transitions:
+            print(
+                f"quality: {q_transitions} drift alert transition(s), "
+                f"{q_critical} critical firing",
+                file=sys.stderr,
+            )
         if args.health_out:
             evaluator.dump(args.health_out)
             print(f"wrote health report {args.health_out}", file=sys.stderr)
-        return 1 if evaluator.critical_fired() else 0
+        return 1 if evaluator.critical_fired() or q_critical else 0
     trace_follower = TraceFollower(args.trace)
     metrics_follower = MetricsFollower(args.metrics) if args.metrics else None
     deadline = time.monotonic() + args.duration if args.duration else None
@@ -904,6 +1082,9 @@ def cmd_watch(args: argparse.Namespace) -> int:
         while True:
             for event in trace_follower.poll():
                 evaluator.ingest(event)
+                t, c = _quality_transition(event)
+                q_transitions += t
+                q_critical += c
             if metrics_follower is not None:
                 delta = metrics_follower.poll()
                 if delta is not None:
@@ -919,10 +1100,16 @@ def cmd_watch(args: argparse.Namespace) -> int:
             time.sleep(args.interval)
     except KeyboardInterrupt:
         pass
+    if q_transitions:
+        print(
+            f"quality: {q_transitions} drift alert transition(s), "
+            f"{q_critical} critical firing",
+            file=sys.stderr,
+        )
     if args.health_out:
         evaluator.dump(args.health_out)
         print(f"wrote health report {args.health_out}", file=sys.stderr)
-    return 1 if evaluator.critical_fired() else 0
+    return 1 if evaluator.critical_fired() or q_critical else 0
 
 
 def cmd_evasion(args: argparse.Namespace) -> int:
@@ -981,6 +1168,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--hpcs", type=int, default=4)
     p.set_defaults(func=cmd_evaluate)
 
+    p = sub.add_parser(
+        "profile", help="capture a detector's drift reference profile"
+    )
+    _add_corpus_args(p)
+    p.add_argument("--split-seed", type=int, default=7)
+    p.add_argument("--classifier", default="REPTree", choices=CLASSIFIER_NAMES)
+    p.add_argument("--ensemble", default="boosted", choices=ENSEMBLE_MODES)
+    p.add_argument("--hpcs", type=int, default=4)
+    p.add_argument("--vote-threshold", type=_vote_threshold, default=0.5,
+                   help="vote threshold the deployed monitors will use")
+    p.add_argument("--bins", type=_positive_int, default=12,
+                   help="histogram bins per feature (default 12)")
+    p.add_argument("--out", required=True, metavar="PROFILE.json",
+                   help="write the reference profile here (feed to "
+                   "monitor/fleet/serve --quality-ref)")
+    p.set_defaults(func=cmd_profile)
+
     p = sub.add_parser("matrix", help="run a slice of the evaluation grid")
     _add_corpus_args(p)
     p.add_argument("--split-seeds", type=int, nargs="+", default=[7])
@@ -1012,6 +1216,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="monitor every Nth family only")
     _add_obs_args(p)
     _add_health_args(p)
+    _add_quality_args(p)
     p.set_defaults(func=cmd_monitor)
 
     p = sub.add_parser(
@@ -1036,6 +1241,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="max attempts per application on transient faults")
     _add_obs_args(p)
     _add_health_args(p)
+    _add_quality_args(p)
     _add_archive_args(p)
     p.set_defaults(func=cmd_fleet)
 
@@ -1068,8 +1274,13 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SPEC",
                    help="inject worker crashes, e.g. crash=0.5 or "
                    "crash=0.5,max=3 (omit for a pristine run)")
+    p.add_argument("--drift", type=float, default=0.0, metavar="STRENGTH",
+                   help="shift the whole live workload toward a benign "
+                   "cover profile at this evasion strength in [0, 1] "
+                   "(injected model drift; 0 = stationary)")
     _add_obs_args(p)
     _add_health_args(p)
+    _add_quality_args(p)
     _add_archive_args(p)
     p.set_defaults(func=cmd_serve)
 

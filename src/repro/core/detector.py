@@ -91,6 +91,50 @@ class HMDDetector:
             )
         return self.model.predict(windows)
 
+    def decision_scores_windows(self, windows: np.ndarray) -> np.ndarray:
+        """Graded malware scores for raw windows on monitored_events.
+
+        Same input contract as :meth:`predict_windows`; an empty batch
+        scores to an empty array (some learners reject empty input).
+        """
+        if not self.fitted_:
+            raise RuntimeError("detector is not fitted")
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim == 1:
+            windows = windows[None, :]
+        if windows.shape[1] != self.config.n_hpcs:
+            raise ValueError(
+                f"expected {self.config.n_hpcs} event columns, got {windows.shape[1]}"
+            )
+        if windows.shape[0] == 0:
+            return np.zeros(0)
+        return self.model.decision_scores(windows)
+
+    def grade_windows(self, windows: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Flags and graded scores from a single probability pass.
+
+        Every classifier derives both ``predict`` (0.5-threshold) and
+        ``decision_scores`` (malware-class probability) from one
+        ``predict_proba`` call (:class:`repro.ml.base.Classifier`), so
+        computing both from the same batch pass yields flags
+        bit-identical to :meth:`predict_windows` at half the inference
+        cost — this is what lets the quality tracker grade executions
+        without doubling the verdict path's classification work.
+        """
+        if not self.fitted_:
+            raise RuntimeError("detector is not fitted")
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim == 1:
+            windows = windows[None, :]
+        if windows.shape[1] != self.config.n_hpcs:
+            raise ValueError(
+                f"expected {self.config.n_hpcs} event columns, got {windows.shape[1]}"
+            )
+        if windows.shape[0] == 0:
+            return np.zeros(0, dtype=np.intp), np.zeros(0)
+        scores = self.model.predict_proba(windows)[:, 1]
+        return (scores >= 0.5).astype(np.intp), scores
+
     def evaluate(self, test: Dataset) -> DetectorScores:
         """Accuracy/AUC/ACC×AUC on unknown applications (paper §4)."""
         reduced = self._reduce(test)

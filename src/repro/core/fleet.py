@@ -50,6 +50,7 @@ from repro.core.runtime import (
     DetectionVerdict,
     classify_trace,
     detection_latency_windows,
+    observe_execution_quality,
     validate_deployment,
 )
 from repro.hpc.events import ALL_EVENTS
@@ -70,6 +71,7 @@ from repro.obs import (
     NULL_REGISTRY,
     NULL_TRACER,
     HealthEvaluator,
+    QualityTracker,
     Registry,
     Tracer,
 )
@@ -190,6 +192,11 @@ class FleetMonitor:
             classify latency in-process, from the worker threads; the
             evaluator observes but never alters verdicts, so fleet
             output stays bit-identical with health enabled.
+        quality: optional :class:`~repro.obs.QualityTracker` fed every
+            execution's reduced feature windows and graded scores for
+            drift scoring (pristine re-reduction, so counter glitches
+            never masquerade as drift); observes only, verdicts stay
+            bit-identical, and None costs one attribute check.
         sleep: injection point for backoff sleeping (tests pass a
             recorder; production uses :func:`time.sleep`).
     """
@@ -207,6 +214,7 @@ class FleetMonitor:
         tracer: Tracer | None = None,
         metrics: Registry | None = None,
         health: HealthEvaluator | None = None,
+        quality: QualityTracker | None = None,
         sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         validate_deployment(detector, n_counters, vote_threshold)
@@ -223,6 +231,7 @@ class FleetMonitor:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.health = health
+        self.quality = quality
         self.sleep = sleep
         # Instrument updates happen from worker threads; Counter.inc is
         # a read-modify-write, so serialize them with one fleet lock.
@@ -321,9 +330,15 @@ class FleetMonitor:
                 self.health.observe_classify(per_window, int(flags.size))
         if n_lost:
             self._inc(self._c_dropped, n_lost)
-        return DetectionVerdict.from_flags(
+        verdict = DetectionVerdict.from_flags(
             job.app.name, flags, self.vote_threshold, n_windows_lost=n_lost
         )
+        if self.quality is not None:
+            observe_execution_quality(
+                self.quality, self.detector, self.n_counters, trace,
+                verdict, self.vote_threshold, job.is_malware, job.app.name,
+            )
+        return verdict
 
     def _degrade(self, job: FleetJob, salvage_trace: np.ndarray) -> DetectionVerdict:
         """Quorum verdict over whatever raw windows survived the faults.
@@ -335,13 +350,19 @@ class FleetMonitor:
         flags = classify_trace(self.detector, self.n_counters, salvage_trace)
         n_lost = job.n_windows - int(salvage_trace.shape[0])
         self._inc(self._c_dropped, n_lost)
-        return DetectionVerdict.from_flags(
+        verdict = DetectionVerdict.from_flags(
             job.app.name,
             flags,
             self.vote_threshold,
             n_windows_lost=n_lost,
             degraded=True,
         )
+        if self.quality is not None:
+            observe_execution_quality(
+                self.quality, self.detector, self.n_counters, salvage_trace,
+                verdict, self.vote_threshold, job.is_malware, job.app.name,
+            )
+        return verdict
 
     def _monitor_app(self, job: FleetJob, index: int) -> DetectionVerdict:
         """Monitor one application to exactly one verdict, never raising."""

@@ -36,6 +36,7 @@ from repro.obs import (
     NULL_REGISTRY,
     NULL_TRACER,
     HealthEvaluator,
+    QualityTracker,
     Registry,
     Tracer,
 )
@@ -61,6 +62,33 @@ def validate_deployment(
             f"{n_counters} counter registers; run-time detection needs "
             f"a detector with n_hpcs <= {n_counters}"
         )
+
+
+def reduce_trace(
+    detector: HMDDetector,
+    n_counters: int,
+    trace: np.ndarray,
+    register_file: CounterRegisterFile | None = None,
+) -> np.ndarray:
+    """Sample a raw 44-event trace down to the detector's feature windows.
+
+    Args:
+        detector: fitted detector whose events are programmed.
+        n_counters: register-file capacity when ``register_file`` is None.
+        trace: array ``(n_windows, 44)`` of raw event activity.
+        register_file: optional pre-built register file (e.g. a
+            :class:`~repro.hpc.faults.GlitchyCounterRegisterFile`); a
+            pristine one is built when omitted.
+
+    Returns:
+        Per-window counter readings ``(n_windows, n_monitored_events)``
+        — the exact matrix the detector classifies, and the matrix the
+        quality tracker profiles.
+    """
+    if register_file is None:
+        register_file = CounterRegisterFile(n_counters)
+    register_file.program(list(detector.monitored_events))
+    return sample_trace(register_file, trace, ALL_EVENTS)
 
 
 def classify_trace(
@@ -91,11 +119,50 @@ def classify_trace(
     """
     if trace.shape[0] == 0:
         return np.zeros(0, dtype=np.intp)
-    if register_file is None:
-        register_file = CounterRegisterFile(n_counters)
-    register_file.program(list(detector.monitored_events))
-    readings = sample_trace(register_file, trace, ALL_EVENTS)
+    readings = reduce_trace(detector, n_counters, trace, register_file)
     return detector.predict_windows(readings)
+
+
+def observe_execution_quality(
+    quality: QualityTracker,
+    detector: HMDDetector,
+    n_counters: int,
+    trace: np.ndarray,
+    verdict: "DetectionVerdict",
+    vote_threshold: float,
+    truth: bool,
+    host: str,
+    ts: float | None = None,
+    readings: np.ndarray | None = None,
+    scores: np.ndarray | None = None,
+) -> None:
+    """Feed one classified execution to a quality tracker.
+
+    Shared by :class:`RuntimeMonitor`, the fleet, and the serving stack
+    so all three score drift identically: the execution's reduced
+    windows are scored with the detector's graded outputs and handed to
+    the tracker along with the verdict's vote margin and the ground
+    truth that calibrates the score bins.  Callers whose verdict path
+    already reduced the trace through a *pristine* register file (the
+    monitor, the serving workers) pass ``readings`` — and ``scores``
+    when they graded via :meth:`~repro.core.detector.HMDDetector.
+    grade_windows` — so nothing is computed twice; the fleet omits them
+    because its readings may have gone through a glitchy register file,
+    and glitched readings would make fault injection look like model
+    drift.  The tracker only observes — the verdict is already final.
+    """
+    if readings is None:
+        readings = reduce_trace(detector, n_counters, trace)
+    if scores is None:
+        scores = detector.decision_scores_windows(readings)
+    quality.observe_execution(
+        host,
+        readings,
+        scores,
+        margin=verdict.malware_fraction - vote_threshold,
+        truth=truth,
+        ts=ts,
+    )
 
 
 def detection_latency_windows(
@@ -242,6 +309,11 @@ class RuntimeMonitor:
             verdict and classify latency in-process (no file
             round-trip); it observes but never alters verdicts, and
             None costs one attribute check per execution.
+        quality: optional :class:`~repro.obs.QualityTracker` fed each
+            execution's reduced feature windows, graded scores, and
+            vote margin for drift scoring against a reference profile;
+            like ``health`` it observes but never alters verdicts, and
+            None costs one attribute check per execution.
     """
 
     def __init__(
@@ -253,6 +325,7 @@ class RuntimeMonitor:
         tracer: Tracer | None = None,
         metrics: Registry | None = None,
         health: HealthEvaluator | None = None,
+        quality: QualityTracker | None = None,
     ) -> None:
         validate_deployment(detector, n_counters, vote_threshold)
         self.detector = detector
@@ -262,6 +335,7 @@ class RuntimeMonitor:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.health = health
+        self.quality = quality
         self._h_classify = self.metrics.histogram(
             "monitor_window_classify_seconds",
             "per-window classification latency (amortized over the batch)",
@@ -302,7 +376,15 @@ class RuntimeMonitor:
                 )
             with self.tracer.span("monitor.classify", app=app.name):
                 start = time.perf_counter()
-                flags = classify_trace(self.detector, self.n_counters, trace)
+                readings = scores = None
+                if self.quality is None or trace.shape[0] == 0:
+                    flags = classify_trace(self.detector, self.n_counters, trace)
+                else:
+                    # One reduce + one probability pass serves both the
+                    # verdict and the drift scorer; flags stay
+                    # bit-identical to the quality=None classify path.
+                    readings = reduce_trace(self.detector, self.n_counters, trace)
+                    flags, scores = self.detector.grade_windows(readings)
                 elapsed = time.perf_counter() - start
             verdict = DetectionVerdict.from_flags(
                 app.name, flags, self.vote_threshold
@@ -335,6 +417,12 @@ class RuntimeMonitor:
                 degraded=verdict.degraded,
                 n_windows=verdict.n_windows,
                 n_windows_lost=verdict.n_windows_lost,
+            )
+        if self.quality is not None:
+            observe_execution_quality(
+                self.quality, self.detector, self.n_counters, trace,
+                verdict, self.vote_threshold, is_malware, app.name,
+                readings=readings, scores=scores,
             )
         return verdict
 

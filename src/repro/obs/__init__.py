@@ -20,6 +20,10 @@ Six pieces, all free when disabled:
   segments, and cross-run roll-up queries (detection-rate trends, alert
   frequency, exact merged latency percentiles) behind
   ``repro-hmd report``.
+* :mod:`repro.obs.quality` — model-quality and drift observability:
+  train-time :class:`ReferenceProfile` histograms, a PSI/KS/ECE
+  :class:`DriftScorer`, and the streaming :class:`QualityTracker`
+  behind ``repro-hmd profile`` and the monitors' ``quality=`` hook.
 
 Instrumented components (``MatrixRunner``, ``ResultCache``,
 ``RuntimeMonitor``, ``FleetMonitor``, the CLI) default to the shared
@@ -30,6 +34,7 @@ instrumentation costs one attribute check unless a run opts in with
 
 from repro.obs.archive import (
     ARCHIVE_SCHEMA_VERSION,
+    DRIFT_RULE,
     Archive,
     ArchiveError,
     ArchiveSink,
@@ -54,6 +59,19 @@ from repro.obs.health import (
     parse_alert_spec,
     parse_slo,
 )
+from repro.obs.quality import (
+    DEFAULT_QUALITY_RULES,
+    QUALITY_SCHEMA_VERSION,
+    QUALITY_SIGNAL_NAMES,
+    DriftScorer,
+    QualityAlertRule,
+    QualityError,
+    QualityTracker,
+    ReferenceProfile,
+    build_reference_profile,
+    parse_quality_alert_spec,
+    quality_table,
+)
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     FAST_LATENCY_BUCKETS,
@@ -72,6 +90,7 @@ from repro.obs.rollup import (
     VerdictFrame,
     alert_frequency,
     detection_rate_trend,
+    drift_trend,
     fleet_report,
     fleet_report_data,
     latency_quantiles,
@@ -106,18 +125,23 @@ __all__ = [
     "ArchiveSink",
     "AlertFrame",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_QUALITY_RULES",
+    "DRIFT_RULE",
     "FAST_LATENCY_BUCKETS",
     "HEALTH_SCHEMA_VERSION",
     "NULL_INSTRUMENT",
     "NULL_REGISTRY",
     "NULL_SPAN",
     "NULL_TRACER",
+    "QUALITY_SCHEMA_VERSION",
+    "QUALITY_SIGNAL_NAMES",
     "SEVERITIES",
     "SIGNAL_NAMES",
     "TRACE_SCHEMA_VERSION",
     "AlertRule",
     "AlertState",
     "Counter",
+    "DriftScorer",
     "Gauge",
     "HealthConfigError",
     "HealthEvaluator",
@@ -126,6 +150,10 @@ __all__ = [
     "MatrixProgressSink",
     "MetricsError",
     "MetricsFollower",
+    "QualityAlertRule",
+    "QualityError",
+    "QualityTracker",
+    "ReferenceProfile",
     "Registry",
     "SLO",
     "SegmentData",
@@ -137,7 +165,9 @@ __all__ = [
     "VerdictFrame",
     "aggregate_spans",
     "alert_frequency",
+    "build_reference_profile",
     "detection_rate_trend",
+    "drift_trend",
     "fleet_report",
     "fleet_report_data",
     "health_table",
@@ -153,7 +183,9 @@ __all__ = [
     "normalize_events",
     "normalize_metrics",
     "parse_alert_spec",
+    "parse_quality_alert_spec",
     "parse_slo",
+    "quality_table",
     "segment_content_id",
     "select_segments",
     "snapshot_delta",

@@ -60,6 +60,11 @@ VERDICT_EVENTS = {
 #: Rule name under which per-host sliding-vote alerts are archived.
 HOST_VOTE_RULE = "host_vote"
 
+#: Rule name under which per-execution drift observations are archived
+#: (``quality.drift`` events land as informational alert rows; the
+#: drift *trend* roll-up filters on this constant).
+DRIFT_RULE = "quality_drift"
+
 
 class ArchiveError(RuntimeError):
     """The archive directory, a segment, or the manifest is unusable."""
@@ -127,10 +132,12 @@ def normalize_events(events: list[dict]) -> tuple[list[dict], list[dict], list[d
     Verdict events (``serve.verdict`` / ``fleet.verdict`` /
     ``monitor.verdict``) become verdict rows; ``monitor.verdict`` events
     carry no execution index, so they are numbered in stream order.
-    ``serve.alert`` host-vote trips and ``health.alert`` rule
-    transitions become alert rows; span events become (name, ts, dur)
-    rows.  Unknown event names are ignored, so traces from future
-    instrumentation still ingest.
+    ``serve.alert`` host-vote trips, ``health.alert`` / ``quality.alert``
+    rule transitions, and per-execution ``quality.drift`` observations
+    (archived under :data:`DRIFT_RULE` with their worst per-feature PSI
+    as the value, feeding the drift-trend roll-up) become alert rows;
+    span events become (name, ts, dur) rows.  Unknown event names are
+    ignored, so traces from future instrumentation still ingest.
     """
     verdicts: list[dict] = []
     alerts: list[dict] = []
@@ -181,17 +188,47 @@ def normalize_events(events: list[dict]) -> tuple[list[dict], list[dict], list[d
                     value=attrs.get("fraction", 0.0),
                 )
             )
-        elif name == "health.alert":
+        elif name in ("health.alert", "quality.alert"):
             alerts.append(
                 alert_record(
                     ts=ts,
                     rule=attrs.get("rule", ""),
-                    host="*",
+                    host=attrs.get("host", "*"),
                     severity=attrs.get("severity", ""),
                     state=attrs.get("state", ""),
                     value=attrs.get("value", 0.0),
                 )
             )
+        elif name == "quality.drift":
+            # Two rows per observation: the fleet-level ("*") row carries
+            # the global-window PSI the alert rules evaluate; the
+            # per-host row carries that host's own window PSI (NaN until
+            # the host accumulates enough evidence), so the drift-trend
+            # roll-up reports genuinely per-host series.
+            value = attrs.get("max_feature_psi")
+            alerts.append(
+                alert_record(
+                    ts=ts,
+                    rule=DRIFT_RULE,
+                    host="*",
+                    severity="info",
+                    state="observation",
+                    value=float("nan") if value is None else value,
+                )
+            )
+            host = attrs.get("host", "")
+            if host:
+                host_value = attrs.get("host_max_feature_psi")
+                alerts.append(
+                    alert_record(
+                        ts=ts,
+                        rule=DRIFT_RULE,
+                        host=host,
+                        severity="info",
+                        state="observation",
+                        value=float("nan") if host_value is None else host_value,
+                    )
+                )
     return verdicts, alerts, spans
 
 

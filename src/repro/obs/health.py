@@ -53,7 +53,7 @@ from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, TextIO
+from typing import Callable, ClassVar, TextIO
 
 from repro.obs.metrics import FAST_LATENCY_BUCKETS, NULL_REGISTRY, Registry
 from repro.obs.stats import histogram_quantile
@@ -264,16 +264,22 @@ class AlertRule:
     severity: str = "warning"
     clear_threshold: float | None = None
 
+    #: Signals rules of this class may target.  Subclasses evaluating a
+    #: different signal family (e.g. drift signals in
+    #: :mod:`repro.obs.quality`) override this; the state machine and
+    #: spec grammar are shared unchanged.
+    signal_names: ClassVar[tuple] = SIGNAL_NAMES
+
     def __post_init__(self) -> None:
         if self.op not in _OPS:
             raise HealthConfigError(
                 f"rule {self.name!r}: unknown comparator {self.op!r} "
                 f"(use one of {'/'.join(_OPS)})"
             )
-        if self.signal not in SIGNAL_NAMES:
+        if self.signal not in type(self).signal_names:
             raise HealthConfigError(
                 f"rule {self.name!r}: unknown signal {self.signal!r} "
-                f"(use one of {', '.join(SIGNAL_NAMES)})"
+                f"(use one of {', '.join(type(self).signal_names)})"
             )
         if self.severity not in SEVERITIES:
             raise HealthConfigError(
@@ -347,12 +353,14 @@ class AlertRule:
 _SPEC_RE = re.compile(r"^\s*([a-z0-9_]+)\s*(>=|<=|>|<)\s*([0-9.eE+-]+)\s*$")
 
 
-def parse_alert_spec(spec: str) -> AlertRule:
+def parse_alert_spec(spec: str, rule_cls: type = AlertRule) -> AlertRule:
     """Parse an inline ``--alert`` rule specification.
 
     Format: ``SIGNAL OP THRESHOLD[:SEVERITY[:FOR_S[:CLEAR]]]``, e.g.
     ``degraded_ratio>=0.2:critical:5:0.1`` fires at 0.2 after 5 s of
-    sustained breach and clears below 0.1.
+    sustained breach and clears below 0.1.  ``rule_cls`` selects which
+    :class:`AlertRule` family validates the signal name (the quality
+    tracker parses the same grammar against its drift signals).
     """
     condition, *extras = spec.split(":")
     if len(extras) > 3:
@@ -371,7 +379,7 @@ def parse_alert_spec(spec: str) -> AlertRule:
         clear = float(extras[2]) if len(extras) > 2 and extras[2] else None
     except ValueError as exc:
         raise HealthConfigError(f"bad alert spec {spec!r}: {exc}") from exc
-    return AlertRule(
+    return rule_cls(
         name=condition.replace(" ", ""),
         signal=signal,
         op=op,

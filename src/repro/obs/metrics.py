@@ -360,7 +360,10 @@ def snapshot_delta(old: dict, new: dict) -> dict:
 def _prom_header(name: str, help: str, kind: str) -> list[str]:
     lines = []
     if help:
-        lines.append(f"# HELP {name} {help}")
+        # Text exposition format: HELP text escapes backslash first
+        # (so escaped newlines don't double-escape), then newline.
+        escaped = help.replace("\\", "\\\\").replace("\n", "\\n")
+        lines.append(f"# HELP {name} {escaped}")
     lines.append(f"# TYPE {name} {kind}")
     return lines
 

@@ -22,7 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.obs.archive import Archive, SegmentData
+from repro.obs.archive import DRIFT_RULE, Archive, SegmentData
 from repro.obs.metrics import merge_snapshots
 from repro.obs.stats import histogram_quantile
 
@@ -240,6 +240,51 @@ def detection_rate_trend(
     return rows
 
 
+def drift_trend(frame: AlertFrame, bucket_s: float = DAY_SECONDS) -> list[dict]:
+    """Per-host, per-time-bucket model-drift trend from archived runs.
+
+    Aggregates the ``quality.drift`` observations
+    (:data:`repro.obs.archive.DRIFT_RULE` rows, state ``observation``)
+    that :class:`repro.obs.quality.QualityTracker` emits: each row's
+    value is the max per-feature PSI at that evaluation.  Rows are
+    sorted by (host, bucket start) and report the observation count and
+    the mean / max PSI over the bucket's finite observations — warm-up
+    evaluations below the tracker's evidence floor carry NaN values and
+    count toward ``observations`` but not the PSI aggregates (a bucket
+    with no finite value reports NaN for both).
+    """
+    if bucket_s <= 0:
+        raise ValueError(f"bucket_s must be positive, got {bucket_s}")
+    if len(frame) == 0:
+        return []
+    rules = frame.rule.astype(str)
+    states = frame.state.astype(str)
+    mask = (rules == DRIFT_RULE) & (states == "observation")
+    if not mask.any():
+        return []
+    ts = frame.ts[mask]
+    hosts = frame.host[mask].astype(str)
+    values = np.asarray(frame.value[mask], dtype=float)
+    buckets = np.floor(ts / bucket_s).astype(np.int64)
+    rows = []
+    for host in sorted(set(hosts)):
+        host_mask = hosts == host
+        for bucket in sorted(set(buckets[host_mask])):
+            sel = host_mask & (buckets == bucket)
+            vals = values[sel]
+            finite = vals[np.isfinite(vals)]
+            rows.append(
+                {
+                    "host": str(host),
+                    "bucket_start": float(bucket * bucket_s),
+                    "observations": int(sel.sum()),
+                    "mean_psi": float(finite.mean()) if finite.size else float("nan"),
+                    "max_psi": float(finite.max()) if finite.size else float("nan"),
+                }
+            )
+    return rows
+
+
 def alert_frequency(frame: AlertFrame) -> list[dict]:
     """Alert counts grouped by rule: how often each rule fired/cleared.
 
@@ -346,6 +391,7 @@ def fleet_report_data(
         "windows_lost": int(verdicts.n_lost.sum()) if len(verdicts) else 0,
         "bucket_s": bucket_s,
         "detection_rate_trend": detection_rate_trend(verdicts, bucket_s=bucket_s),
+        "drift_trend": drift_trend(alerts, bucket_s=bucket_s),
         "alert_frequency": alert_frequency(alerts),
         "latency_quantiles": latency_quantiles(snapshot),
     }
@@ -353,6 +399,12 @@ def fleet_report_data(
 
 def _fmt_bucket(ts: float) -> str:
     return time.strftime("%Y-%m-%d %H:%M", time.gmtime(ts))
+
+
+def _fmt_psi(value: float) -> str:
+    if value != value:  # NaN: no finite observations in bucket
+        return "-"
+    return f"{value:.4f}"
 
 
 def _fmt_q(seconds: float) -> str:
@@ -400,6 +452,22 @@ def fleet_report(
                 f"{row['degraded_rate']:>7.0%} {row['windows']:>8d} "
                 f"{row['windows_lost']:>5d}"
             )
+    drift = data["drift_trend"]
+    if drift:
+        lines.append("")
+        lines.append(
+            f"Model-drift trend (max feature PSI, {data['bucket_s']:.0f} s buckets)"
+        )
+        lines.append(
+            f"{'host':24s} {'bucket (UTC)':>16s} {'obs':>6s} "
+            f"{'mean PSI':>9s} {'max PSI':>9s}"
+        )
+        for row in drift:
+            lines.append(
+                f"{row['host']:24s} {_fmt_bucket(row['bucket_start']):>16s} "
+                f"{row['observations']:>6d} {_fmt_psi(row['mean_psi']):>9s} "
+                f"{_fmt_psi(row['max_psi']):>9s}"
+            )
     freq = data["alert_frequency"]
     if freq:
         lines.append("")
@@ -424,6 +492,6 @@ def fleet_report(
                 f"{_fmt_q(row['p50']):>8s} {_fmt_q(row['p95']):>8s} "
                 f"{_fmt_q(row['p99']):>8s}"
             )
-    if not (trend or freq or quantiles):
+    if not (trend or drift or freq or quantiles):
         lines.append("(archive matched no verdicts, alerts, or histograms)")
     return "\n".join(lines)

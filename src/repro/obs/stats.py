@@ -146,16 +146,18 @@ def metrics_table(snapshot: dict) -> str:
         lines.append("histograms:")
         lines.append(
             f"  {'name':38s} {'count':>7s} {'mean ms':>9s} "
-            f"{'p50 ms':>9s} {'p95 ms':>9s} {'sum s':>9s}"
+            f"{'p50 ms':>9s} {'p95 ms':>9s} {'p99 ms':>9s} {'sum s':>9s}"
         )
         for name, data in sorted(histograms.items()):
             count = data["count"]
             mean = data["sum"] / count if count else 0.0
             p50 = histogram_quantile(data, 0.50)
             p95 = histogram_quantile(data, 0.95)
+            p99 = histogram_quantile(data, 0.99)
             lines.append(
                 f"  {name:38s} {count:>7d} {mean * 1e3:>9.3f} "
-                f"{_ms(p50):>9s} {_ms(p95):>9s} {data['sum']:>9.3f}"
+                f"{_ms(p50):>9s} {_ms(p95):>9s} {_ms(p99):>9s} "
+                f"{data['sum']:>9.3f}"
             )
     if len(lines) == 1:
         lines.append("(no metrics recorded)")

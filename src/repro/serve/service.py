@@ -63,6 +63,8 @@ from repro.core.runtime import (
     DetectionVerdict,
     classify_trace,
     detection_latency_windows,
+    observe_execution_quality,
+    reduce_trace,
     validate_deployment,
 )
 from repro.hpc.events import ALL_EVENTS
@@ -74,6 +76,7 @@ from repro.obs import (
     NULL_REGISTRY,
     NULL_TRACER,
     HealthEvaluator,
+    QualityTracker,
     Registry,
     Tracer,
 )
@@ -213,6 +216,11 @@ class DetectionService:
             trace event carries, so a run archived live and the same run
             re-ingested from its dumped trace produce one identical
             (deduplicated) segment.
+        quality: optional :class:`~repro.obs.QualityTracker` fed every
+            emitted verdict's reduced feature windows and graded scores
+            (keyed by host, so the tracker's per-host windows report
+            per-host drift); observes only — verdicts stay bit-identical
+            — and None costs one attribute check per execution.
     """
 
     def __init__(
@@ -231,6 +239,7 @@ class DetectionService:
         metrics: Registry | None = None,
         health: HealthEvaluator | None = None,
         archive_sink: ArchiveSink | None = None,
+        quality: QualityTracker | None = None,
     ) -> None:
         validate_deployment(detector, n_counters, vote_threshold)
         if producers < 1:
@@ -255,6 +264,7 @@ class DetectionService:
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.health = health
         self.archive_sink = archive_sink
+        self.quality = quality
         self._metrics_lock = threading.Lock()
         self._c_executions = self.metrics.counter(
             "serve_executions_total", "executions streamed to a verdict"
@@ -323,7 +333,8 @@ class DetectionService:
 
     def _emit_verdict(
         self, state: _RunState, closed: WindowClosed, verdict: DetectionVerdict,
-        elapsed: float,
+        elapsed: float, trace: np.ndarray | None = None,
+        readings: np.ndarray | None = None, scores: np.ndarray | None = None,
     ) -> None:
         """Publish one verdict exactly once, no matter who computed it."""
         with state.verdict_lock:
@@ -381,6 +392,16 @@ class DetectionService:
                 degraded=verdict.degraded,
                 n_windows=n,
                 n_windows_lost=verdict.n_windows_lost,
+            )
+        if self.quality is not None and trace is not None:
+            # Inside the exactly-once guard above, so a ledger-recovery
+            # duplicate can never double-count drift evidence; shares
+            # the verdict's timestamp so replays score identically.
+            observe_execution_quality(
+                self.quality, self.detector, self.n_counters, trace,
+                verdict, self.vote_threshold,
+                state.records[closed.execution].job.is_malware,
+                closed.host, ts=ts, readings=readings, scores=scores,
             )
         self._observe_host(state, closed.host, closed.execution, verdict)
         if remaining == 0:
@@ -444,12 +465,25 @@ class DetectionService:
             return
         trace = self._assemble(rows, closed.n_windows)
         start = time.perf_counter()
-        flags = classify_trace(self.detector, self.n_counters, trace)
+        readings = scores = None
+        if self.quality is None or trace.shape[0] == 0:
+            flags = classify_trace(self.detector, self.n_counters, trace)
+        else:
+            # One reduce + one probability pass serves both the verdict
+            # and the drift scorer; flags stay bit-identical to the
+            # quality=None classify path (the ledger trace is pristine,
+            # so sharing the readings is sound here — unlike the fleet's
+            # possibly-glitched register file).
+            readings = reduce_trace(self.detector, self.n_counters, trace)
+            flags, scores = self.detector.grade_windows(readings)
         elapsed = time.perf_counter() - start
         verdict = DetectionVerdict.from_flags(
             closed.app_name, flags, self.vote_threshold
         )
-        self._emit_verdict(state, closed, verdict, elapsed)
+        self._emit_verdict(
+            state, closed, verdict, elapsed, trace,
+            readings=readings, scores=scores,
+        )
         assembly.pop(closed.execution, None)
 
     def _recover(

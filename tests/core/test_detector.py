@@ -80,3 +80,36 @@ def test_detectors_use_ranking_prefix(small_split):
     d2 = HMDDetector(DetectorConfig("J48", "general", 2)).fit(small_split.train)
     d4 = HMDDetector(DetectorConfig("J48", "general", 4)).fit(small_split.train)
     assert d4.monitored_events[:2] == d2.monitored_events
+
+
+def test_grade_windows_matches_separate_passes(fitted, small_split):
+    """One probability pass must reproduce both dedicated window APIs."""
+    reduced = fitted.reducer.transform(small_split.test)
+    windows = np.asarray(reduced.features[:40], dtype=float)
+    flags, scores = fitted.grade_windows(windows)
+    assert np.array_equal(flags, fitted.predict_windows(windows))
+    assert np.array_equal(scores, fitted.decision_scores_windows(windows))
+    assert np.array_equal(flags, (scores >= 0.5).astype(flags.dtype))
+
+
+@pytest.mark.parametrize("ensemble", ["general", "boosted", "bagging"])
+def test_grade_windows_across_ensembles(small_split, ensemble):
+    detector = HMDDetector(
+        DetectorConfig("OneR", ensemble, 2, n_estimators=5)
+    ).fit(small_split.train)
+    reduced = detector.reducer.transform(small_split.test)
+    windows = np.asarray(reduced.features[:20], dtype=float)
+    flags, scores = detector.grade_windows(windows)
+    assert np.array_equal(flags, detector.predict_windows(windows))
+    assert np.array_equal(scores, detector.decision_scores_windows(windows))
+
+
+def test_grade_windows_empty_and_invalid(fitted):
+    flags, scores = fitted.grade_windows(np.zeros((0, 4)))
+    assert flags.shape == (0,) and scores.shape == (0,)
+    with pytest.raises(ValueError):
+        fitted.grade_windows(np.zeros((3, 7)))
+    with pytest.raises(RuntimeError):
+        HMDDetector(DetectorConfig("J48", "general", 4)).grade_windows(
+            np.zeros((1, 4))
+        )

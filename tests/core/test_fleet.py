@@ -420,3 +420,22 @@ def test_fleet_trace_replay_yields_identical_alert_transitions(detector4, jobs):
     # Transition timestamps come from the trace, not the watcher's clock.
     trace_ts = {e["ts"] for e in events}
     assert all(t["ts"] in trace_ts for t in first)
+
+
+def test_fleet_quality_tracking_keeps_verdicts_identical(
+    detector4, jobs, small_split
+):
+    """The quality hook observes fleet executions without touching them."""
+    from repro.obs import QualityTracker, build_reference_profile
+
+    profile = build_reference_profile(detector4, small_split.train)
+    baseline = FleetMonitor(
+        detector4, workers=4, pool_seed=POOL_SEED
+    ).monitor_fleet(jobs)
+    tracker = QualityTracker(profile, window_s=1e9)
+    tracked = FleetMonitor(
+        detector4, workers=4, pool_seed=POOL_SEED, quality=tracker
+    ).monitor_fleet(jobs)
+    assert tracked == baseline
+    assert tracker.total_executions == len(jobs)
+    assert tracker.total_windows == sum(job.n_windows for job in jobs)

@@ -233,3 +233,36 @@ def test_monitor_health_signals_reflect_alarm(detector4):
     verdict = monitor.monitor(app, 20, ContainerPool(seed=2), is_malware=True)
     assert health.last_values["detection_rate"] == float(verdict.is_malware)
     assert health.last_values["verdicts"] == 1.0
+
+
+# -- quality hook ------------------------------------------------------
+
+
+def test_quality_tracking_keeps_verdicts_bit_identical(detector4, small_split):
+    """quality= must observe the verdict path, never perturb it."""
+    from repro.obs import QualityTracker, build_reference_profile
+    from repro.workloads.dataset import MALWARE
+
+    profile = build_reference_profile(detector4, small_split.train)
+    families = (BENIGN_FAMILIES + MALWARE_FAMILIES)[::6]
+
+    def sweep(quality):
+        monitor = RuntimeMonitor(detector4, n_counters=4, quality=quality)
+        rng = np.random.default_rng(23)
+        return [
+            monitor.monitor(
+                family.instantiate(rng)[0],
+                12,
+                ContainerPool(seed=50 + i),
+                family.label == MALWARE,
+            )
+            for i, family in enumerate(families)
+        ]
+
+    baseline = sweep(None)
+    tracker = QualityTracker(profile, window_s=1e9)
+    tracked = sweep(tracker)
+    assert tracked == baseline
+    assert tracker.total_executions == len(families)
+    assert tracker.total_windows == 12 * len(families)
+    assert tracker.signals()["live_windows"] == 12.0 * len(families)

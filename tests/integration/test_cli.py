@@ -557,3 +557,77 @@ def test_report_host_filter(capsys, tmp_path):
     data = json.loads(capsys.readouterr().out)
     assert data["hosts"] == ["web-1"]
     assert data["verdicts"] == 1
+
+
+def test_profile_command_writes_loadable_profile(capsys, tmp_path):
+    from repro.obs import ReferenceProfile
+
+    out = tmp_path / "profile.json"
+    rc = main([
+        "profile", *FAST, "--classifier", "OneR", "--hpcs", "2",
+        "--out", str(out),
+    ])
+    assert rc == 0
+    printed = capsys.readouterr().out
+    assert "wrote reference profile" in printed
+    profile = ReferenceProfile.load(out)
+    assert profile.n_features == 2
+    assert profile.meta["command"] == "profile"
+    assert profile.meta["seed"] == 11
+    assert profile.profile_id[:12] in printed
+
+
+def test_quality_flags_need_a_reference():
+    with pytest.raises(SystemExit, match="--quality-ref"):
+        main([
+            "serve", *FAST, "--stride", "20",
+            "--quality-out", "nope.json",
+        ])
+
+
+def test_serve_quality_drift_fires_and_stationary_stays_silent(capsys, tmp_path):
+    """The quality-smoke recipe: shifted run alerts, control run doesn't."""
+    import json
+
+    profile = tmp_path / "profile.json"
+    assert main([
+        "profile", "--seed", "11", "--windows", "8", "--out", str(profile),
+    ]) == 0
+    serve = [
+        "serve", "--seed", "11", "--windows", "8", "--stride", "1",
+        "--rounds", "4", "--producers", "2", "--serve-workers", "2",
+        "--queue-depth", "8",
+        "--quality-ref", str(profile),
+        "--quality-window", "3600",
+        "--quality-alert", "max_feature_psi>=1.5:critical:0:0.5",
+    ]
+
+    shifted_quality = tmp_path / "shifted-quality.json"
+    shifted_trace = tmp_path / "shifted-trace.jsonl"
+    assert main([
+        *serve, "--drift", "0.8",
+        "--quality-out", str(shifted_quality),
+        "--trace-out", str(shifted_trace),
+    ]) == 0
+    shifted = json.loads(shifted_quality.read_text())
+    assert shifted["critical_fired"] is True
+    assert shifted["signals"]["max_feature_psi"] >= 1.5
+    assert "drift alerts fired: yes" in capsys.readouterr().err
+
+    control_quality = tmp_path / "control-quality.json"
+    control_trace = tmp_path / "control-trace.jsonl"
+    assert main([
+        *serve,
+        "--quality-out", str(control_quality),
+        "--trace-out", str(control_trace),
+    ]) == 0
+    control = json.loads(control_quality.read_text())
+    assert control["critical_fired"] is False
+    assert control["signals"]["max_feature_psi"] < 1.5
+    assert "drift alerts fired: no" in capsys.readouterr().err
+
+    # watch --once gates on the archived quality.alert events: exit 1
+    # for the shifted run, 0 for the stationary control.
+    assert main(["watch", "--trace", str(shifted_trace), "--once"]) == 1
+    assert "critical firing" in capsys.readouterr().err
+    assert main(["watch", "--trace", str(control_trace), "--once"]) == 0

@@ -313,3 +313,66 @@ def test_crash_during_segment_write_leaves_archive_intact(tmp_path, monkeypatch)
     # the surviving segment still loads
     (entry,) = archive.segments()
     assert archive.load_segment(entry).n_verdicts == 2
+
+
+def quality_drift_event(ts, host, fleet_psi, host_psi):
+    return {
+        "type": "event",
+        "name": "quality.drift",
+        "ts": ts,
+        "attrs": {
+            "host": host,
+            "worst_feature": "branch_misses",
+            "max_feature_psi": fleet_psi,
+            "host_max_feature_psi": host_psi,
+            "live_windows": 64.0,
+        },
+    }
+
+
+def test_normalize_events_maps_quality_drift_to_two_rows():
+    from repro.obs.archive import DRIFT_RULE
+
+    verdicts, alerts, spans = normalize_events(
+        [quality_drift_event(10.0, "web-1", 0.3, 0.7)]
+    )
+    assert not verdicts and not spans
+    assert len(alerts) == 2
+    fleet, host = alerts
+    assert fleet["rule"] == host["rule"] == DRIFT_RULE
+    assert fleet["host"] == "*" and fleet["value"] == 0.3
+    assert host["host"] == "web-1" and host["value"] == 0.7
+    assert {a["state"] for a in alerts} == {"observation"}
+
+
+def test_normalize_events_quality_drift_without_host_or_value():
+    event = quality_drift_event(10.0, "", None, None)
+    _, alerts, _ = normalize_events([event])
+    assert len(alerts) == 1  # no host row when the observer is anonymous
+    assert alerts[0]["host"] == "*"
+    assert np.isnan(alerts[0]["value"])  # warm-up PSI is NaN, not zero
+
+
+def test_normalize_events_maps_quality_alert_like_health():
+    event = {
+        "type": "event",
+        "name": "quality.alert",
+        "ts": 99.0,
+        "attrs": {
+            "rule": "max_feature_psi>=0.25",
+            "state": "firing",
+            "severity": "critical",
+            "value": 0.41,
+        },
+    }
+    _, alerts, _ = normalize_events([event])
+    assert alerts == [
+        alert_record(
+            ts=99.0,
+            rule="max_feature_psi>=0.25",
+            host="*",
+            severity="critical",
+            state="firing",
+            value=0.41,
+        )
+    ]

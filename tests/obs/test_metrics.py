@@ -345,3 +345,15 @@ def test_snapshot_delta_bucket_mismatch_copies_new_histogram():
     b.histogram("latency", buckets=(1.0, 2.0)).observe(1.5)
     delta = snapshot_delta(a.snapshot(), b.snapshot())
     assert delta["histograms"]["latency"]["counts"] == [0, 1, 0]
+
+
+def test_prometheus_help_text_is_escaped():
+    """Text exposition format: backslash first, then newline."""
+    registry = Registry()
+    registry.counter("odd_total", "line one\nline two with back\\slash").inc()
+    text = registry.to_prometheus()
+    assert "# HELP odd_total line one\\nline two with back\\\\slash" in text
+    # The escaped HELP line must stay a single physical line.
+    help_line = next(l for l in text.splitlines() if l.startswith("# HELP odd_total"))
+    assert "\n" not in help_line
+    assert "odd_total 1" in text

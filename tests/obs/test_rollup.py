@@ -197,3 +197,53 @@ def test_fleet_report_empty_archive(tmp_path):
     data = fleet_report_data(archive)
     assert data["segments"] == 0 and data["verdicts"] == 0
     assert data["hosts"] == []
+
+
+def drift_event(ts, host, fleet_psi, host_psi):
+    return {
+        "type": "event", "name": "quality.drift", "ts": ts,
+        "attrs": {
+            "host": host, "worst_feature": "f0",
+            "max_feature_psi": fleet_psi, "host_max_feature_psi": host_psi,
+        },
+    }
+
+
+def test_drift_trend_buckets_per_host_and_skips_warmup_nan(tmp_path):
+    from repro.obs.rollup import drift_trend
+
+    archive = Archive(tmp_path / "arch")
+    archive.ingest_events(
+        [
+            drift_event(10.0, "web-1", None, None),  # warm-up: NaN PSI
+            drift_event(20.0, "web-1", 0.1, 0.2),
+            drift_event(30.0, "web-1", 0.3, 0.4),
+            drift_event(DAY + 10.0, "web-1", 0.5, 0.6),
+        ],
+        source="serve",
+    )
+    _, alerts = load_frames(archive)
+    rows = drift_trend(alerts)
+    by_key = {(r["host"], r["bucket_start"]): r for r in rows}
+    fleet_day0 = by_key[("*", 0.0)]
+    # Three fleet observations in day 0; the NaN warm-up counts toward
+    # observations but not the PSI aggregates.
+    assert fleet_day0["observations"] == 3
+    assert fleet_day0["mean_psi"] == pytest.approx(0.2)
+    assert fleet_day0["max_psi"] == pytest.approx(0.3)
+    host_day0 = by_key[("web-1", 0.0)]
+    assert host_day0["observations"] == 3
+    assert host_day0["max_psi"] == pytest.approx(0.4)
+    assert by_key[("*", float(DAY))]["mean_psi"] == pytest.approx(0.5)
+    assert rows == sorted(rows, key=lambda r: (r["host"], r["bucket_start"]))
+
+
+def test_drift_trend_empty_and_validated(tmp_path):
+    from repro.obs.rollup import drift_trend
+
+    archive = Archive(tmp_path / "arch")
+    archive.ingest_events([], source="serve")
+    _, frame = load_frames(archive)
+    assert drift_trend(frame) == []
+    with pytest.raises(ValueError):
+        drift_trend(frame, bucket_s=0.0)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.obs import (
     MatrixProgressSink,
+    histogram_quantile,
     Registry,
     Tracer,
     aggregate_spans,
@@ -202,3 +203,19 @@ def test_malformed_span_without_dur_is_ignored_everywhere():
     torn = {"type": "span", "name": "torn", "ts": 0.0}
     assert aggregate_spans([torn]) == []
     assert toplevel_wall_seconds([torn, _span("ok", 1.0)]) == 1.0
+
+
+def test_metrics_table_reports_p99():
+    registry = Registry()
+    hist = registry.histogram(
+        "classify_seconds", "w", buckets=(0.001, 0.01, 0.1, 1.0)
+    )
+    for _ in range(99):
+        hist.observe(0.005)
+    hist.observe(0.5)
+    text = metrics_table(registry.snapshot())
+    header = next(line for line in text.splitlines() if "p99 ms" in line)
+    assert "p50 ms" in header and "p95 ms" in header
+    row = next(line for line in text.splitlines() if "classify_seconds" in line)
+    p99 = histogram_quantile(registry.snapshot()["histograms"]["classify_seconds"], 0.99)
+    assert f"{p99 * 1e3:.3f}" in row

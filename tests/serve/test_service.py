@@ -275,3 +275,23 @@ def test_report_throughput(detector4, jobs):
     assert report.windows_per_second == pytest.approx(
         report.n_windows / report.wall_seconds
     )
+
+
+def test_serve_quality_tracking_keeps_verdicts_identical(
+    detector4, jobs, small_split
+):
+    """quality= on the service leaves the report bit-identical."""
+    from repro.obs import QualityTracker, build_reference_profile
+
+    profile = build_reference_profile(detector4, small_split.train)
+    baseline = DetectionService(
+        detector4, queue_depth=8, pool_seed=POOL_SEED
+    ).run(jobs)
+    tracker = QualityTracker(profile, window_s=1e9)
+    tracked = DetectionService(
+        detector4, queue_depth=8, pool_seed=POOL_SEED, quality=tracker
+    ).run(jobs)
+    assert tracked.verdicts == baseline.verdicts
+    assert tracker.total_executions == len(jobs)
+    tracker.signals()  # flush pending observations into the windows
+    assert tracker.hosts  # per-host windows keyed by served app names
