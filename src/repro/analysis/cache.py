@@ -16,8 +16,6 @@ from __future__ import annotations
 import contextlib
 import hashlib
 import json
-import os
-import tempfile
 import time
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -26,35 +24,17 @@ import numpy as np
 
 from repro.analysis.records import record_from_payload, record_to_payload
 from repro.core.config import DetectorConfig
+
+# Re-exported for backward compatibility: the atomic writer now lives in
+# repro.ioutil so every JSON/binary dump in the repo shares one
+# implementation of the write-temp-fsync-replace discipline.
+from repro.ioutil import atomic_write_text
 from repro.obs import NULL_REGISTRY, Registry
 from repro.workloads.dataset import Dataset
 
 
 class CacheError(RuntimeError):
     """A record cache file is corrupt, truncated, or schema-mismatched."""
-
-
-def atomic_write_text(path: str | Path, text: str) -> None:
-    """Write ``text`` to ``path`` atomically (write-temp-then-rename).
-
-    The temporary file lives in the target directory so ``os.replace``
-    stays on one filesystem; readers never observe a partial file.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(
-        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        with contextlib.suppress(OSError):
-            os.unlink(tmp)
-        raise
 
 
 def dataset_fingerprint(dataset: Dataset) -> str:

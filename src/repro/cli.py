@@ -5,6 +5,7 @@ Installed as ``repro-hmd``.  Subcommands:
 * ``corpus``   — build the synthetic corpus and write it to CSV/ARFF.
 * ``rank``     — reproduce Table 1 (feature ranking).
 * ``evaluate`` — train/evaluate one detector variant.
+* ``train``    — train a detector and save it to the model registry.
 * ``profile``  — capture a detector's drift reference profile.
 * ``matrix``   — run a slice of the paper's evaluation grid.
 * ``hardware`` — reproduce Table 3 (hardware cost estimates).
@@ -34,6 +35,11 @@ alert fired.
 ``fleet``/``serve`` accept ``--archive-dir DIR`` to rotate the finished
 run into the content-addressed fleet archive that ``report`` queries
 and ``replay`` re-drives.
+``monitor``/``fleet``/``serve`` accept ``--model-id REF --registry-dir
+DIR`` to deploy a detector previously saved by ``train`` instead of
+refitting: the compiled artifact is mmap-loaded, so startup performs
+zero fits (the trace shows a ``cli.load_model`` span where ``cli.fit``
+would be).
 """
 
 from __future__ import annotations
@@ -97,6 +103,7 @@ from repro.obs import (
     parse_slo,
     span_table,
 )
+from repro.registry import ModelRegistry, RegistryError
 from repro.serve import DetectionService, ServeJob, replay_segment, serve_run_meta
 from repro.workloads import BENIGN_FAMILIES, MALWARE_FAMILIES, default_corpus
 from repro.workloads.dataset import MALWARE
@@ -111,6 +118,21 @@ def _add_corpus_args(parser: argparse.ArgumentParser) -> None:
 
 def _build_corpus(args: argparse.Namespace):
     return default_corpus(seed=args.seed, windows_per_app=args.windows)
+
+
+def _add_model_args(parser: argparse.ArgumentParser) -> None:
+    """Registry warm-start flags shared by monitor/fleet/serve."""
+    parser.add_argument(
+        "--model-id", default=None, metavar="REF",
+        help="deploy a registry model (id, unique id prefix, or tag) "
+        "instead of fitting at startup; --classifier/--ensemble/--hpcs "
+        "are ignored",
+    )
+    parser.add_argument(
+        "--registry-dir", default="models", metavar="DIR",
+        help="model registry directory --model-id resolves against "
+        "(default: models)",
+    )
 
 
 def cmd_corpus(args: argparse.Namespace) -> int:
@@ -146,6 +168,81 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
           f"performance={scores.performance:.3f}")
     print(f"monitored events: {', '.join(detector.monitored_events)}")
     return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    """Train a detector and save its compiled artifact to the registry.
+
+    Uses the same corpus/split/fit pipeline as ``monitor``/``fleet``/
+    ``serve``, so a model trained with matching flags is exactly the
+    detector those commands would fit at startup — deploy it with
+    their ``--model-id``/``--registry-dir`` and they skip the fit.
+    """
+    tracer, metrics = _make_obs(args)
+    with tracer.span("cli.corpus"):
+        corpus = _build_corpus(args)
+    split = app_level_split(corpus, 0.7, seed=args.split_seed)
+    config = DetectorConfig(args.classifier, args.ensemble, args.hpcs)
+    with tracer.span("cli.fit", config=config.name):
+        detector = HMDDetector(config).fit(split.train)
+    try:
+        registry = ModelRegistry(args.registry_dir)
+        entry = registry.save_detector(detector, tags=tuple(args.tag or ()))
+    except (OSError, RegistryError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    scores = detector.evaluate(split.test)
+    print(f"saved model {entry.model_id}")
+    print(
+        f"  config: {config.name}  accuracy={scores.accuracy:.3f} "
+        f"auc={scores.auc:.3f}"
+    )
+    if entry.tags:
+        print(f"  tags: {', '.join(entry.tags)}")
+    print(
+        f"  deploy: repro-hmd serve --registry-dir {args.registry_dir} "
+        f"--model-id {entry.short_id}"
+    )
+    _dump_obs(args, tracer, metrics)
+    return 0
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    """List the models saved in a registry directory."""
+    try:
+        entries = ModelRegistry(args.registry_dir).entries()
+    except (OSError, RegistryError) as exc:
+        raise SystemExit(f"error: {exc}") from exc
+    if not entries:
+        print(f"no models in {args.registry_dir}")
+        return 0
+    print(f"{'id':12s} {'kind':12s} {'name':24s} tags")
+    for entry in entries:
+        print(
+            f"{entry.short_id:12s} {entry.kind:12s} {entry.name:24s} "
+            f"{', '.join(entry.tags)}"
+        )
+    return 0
+
+
+def _load_or_fit_detector(args: argparse.Namespace, tracer, split):
+    """Deploy a detector: registry warm-start when --model-id is given,
+    otherwise the usual fit-at-startup path.
+
+    The two paths emit distinct trace spans (``cli.load_model`` vs
+    ``cli.fit``) so a trace proves which one ran — the registry-smoke
+    CI job asserts the warm path performs zero fits.
+    """
+    if getattr(args, "model_id", None):
+        try:
+            registry = ModelRegistry(args.registry_dir)
+            with tracer.span("cli.load_model", ref=args.model_id):
+                detector = registry.load_detector(args.model_id)
+        except (OSError, RegistryError) as exc:
+            raise SystemExit(f"error: {exc}") from exc
+        return detector
+    config = DetectorConfig(args.classifier, args.ensemble, args.hpcs)
+    with tracer.span("cli.fit", config=config.name):
+        return HMDDetector(config).fit(split.train)
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -628,9 +725,7 @@ def cmd_monitor(args: argparse.Namespace) -> int:
     with tracer.span("cli.corpus"):
         corpus = _build_corpus(args)
     split = app_level_split(corpus, 0.7, seed=args.split_seed)
-    config = DetectorConfig(args.classifier, args.ensemble, args.hpcs)
-    with tracer.span("cli.fit", config=config.name):
-        detector = HMDDetector(config).fit(split.train)
+    detector = _load_or_fit_detector(args, tracer, split)
     health = _make_health(args, tracer, metrics)
     quality = _make_quality(args, tracer, metrics)
     monitor = RuntimeMonitor(
@@ -675,9 +770,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     with tracer.span("cli.corpus"):
         corpus = _build_corpus(args)
     split = app_level_split(corpus, 0.7, seed=args.split_seed)
-    config = DetectorConfig(args.classifier, args.ensemble, args.hpcs)
-    with tracer.span("cli.fit", config=config.name):
-        detector = HMDDetector(config).fit(split.train)
+    detector = _load_or_fit_detector(args, tracer, split)
     faults = (
         FaultPlan(seed=args.seed + 123, **args.faults)
         if args.faults is not None
@@ -736,9 +829,12 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             "seed": args.seed,
             "windows": args.windows,
             "split_seed": args.split_seed,
-            "classifier": args.classifier,
-            "ensemble": args.ensemble,
-            "hpcs": args.hpcs,
+            # the *deployed* detector's config — with --model-id the
+            # classifier/ensemble/hpcs flags are unused, so recording
+            # them would misdescribe the archived run
+            "classifier": detector.config.classifier,
+            "ensemble": detector.config.ensemble,
+            "hpcs": detector.config.n_hpcs,
             "counters": args.counters,
             "vote_threshold": args.vote_threshold,
             "stride": args.stride,
@@ -758,9 +854,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     with tracer.span("cli.corpus"):
         corpus = _build_corpus(args)
     split = app_level_split(corpus, 0.7, seed=args.split_seed)
-    config = DetectorConfig(args.classifier, args.ensemble, args.hpcs)
-    with tracer.span("cli.fit", config=config.name):
-        detector = HMDDetector(config).fit(split.train)
+    detector = _load_or_fit_detector(args, tracer, split)
     faults = (
         ServiceFaultPlan(seed=args.seed + 321, **args.faults)
         if args.faults is not None
@@ -843,9 +937,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             windows=args.windows,
             split_seed=args.split_seed,
-            classifier=args.classifier,
-            ensemble=args.ensemble,
-            hpcs=args.hpcs,
+            classifier=detector.config.classifier,
+            ensemble=detector.config.ensemble,
+            hpcs=detector.config.n_hpcs,
             counters=args.counters,
             vote_threshold=args.vote_threshold,
             stride=args.stride,
@@ -1169,6 +1263,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_evaluate)
 
     p = sub.add_parser(
+        "train", help="train a detector and save it to the model registry"
+    )
+    _add_corpus_args(p)
+    p.add_argument("--split-seed", type=int, default=7)
+    p.add_argument("--classifier", default="REPTree", choices=CLASSIFIER_NAMES)
+    p.add_argument("--ensemble", default="boosted", choices=ENSEMBLE_MODES)
+    p.add_argument("--hpcs", type=int, default=4)
+    p.add_argument("--registry-dir", required=True, metavar="DIR",
+                   help="model registry directory (created if missing)")
+    p.add_argument("--tag", action="append", metavar="NAME",
+                   help="tag the saved model (repeatable); tags resolve "
+                   "in --model-id lookups")
+    _add_obs_args(p)
+    p.set_defaults(func=cmd_train)
+
+    p = sub.add_parser("models", help="list models saved in a registry")
+    p.add_argument("--registry-dir", required=True, metavar="DIR",
+                   help="model registry directory")
+    p.set_defaults(func=cmd_models)
+
+    p = sub.add_parser(
         "profile", help="capture a detector's drift reference profile"
     )
     _add_corpus_args(p)
@@ -1209,6 +1324,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--classifier", default="REPTree", choices=CLASSIFIER_NAMES)
     p.add_argument("--ensemble", default="boosted", choices=ENSEMBLE_MODES)
     p.add_argument("--hpcs", type=int, default=4)
+    _add_model_args(p)
     p.add_argument("--counters", type=int, default=4)
     p.add_argument("--vote-threshold", type=_vote_threshold, default=0.5,
                    help="flagged-window fraction that raises the alarm, in (0, 1]")
@@ -1227,6 +1343,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--classifier", default="REPTree", choices=CLASSIFIER_NAMES)
     p.add_argument("--ensemble", default="boosted", choices=ENSEMBLE_MODES)
     p.add_argument("--hpcs", type=int, default=4)
+    _add_model_args(p)
     p.add_argument("--counters", type=int, default=4)
     p.add_argument("--vote-threshold", type=_vote_threshold, default=0.5,
                    help="flagged-window quorum over surviving windows, in (0, 1]")
@@ -1253,6 +1370,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--classifier", default="REPTree", choices=CLASSIFIER_NAMES)
     p.add_argument("--ensemble", default="boosted", choices=ENSEMBLE_MODES)
     p.add_argument("--hpcs", type=int, default=4)
+    _add_model_args(p)
     p.add_argument("--counters", type=int, default=4)
     p.add_argument("--vote-threshold", type=_vote_threshold, default=0.5,
                    help="flagged-window quorum for verdicts and host alerts")

@@ -7,7 +7,13 @@ Base learners (paper Figure 2): :class:`BayesNet`, :class:`J48`,
 :class:`Bagging`.
 """
 
-from repro.ml.base import Classifier, NotFittedError
+from repro.ml.base import (
+    ArtifactError,
+    Classifier,
+    NotFittedError,
+    classifier_from_artifact,
+    export_classifier,
+)
 from repro.ml.baselines import (
     GaussianAnomalyDetector,
     KNearestNeighbors,
@@ -71,6 +77,7 @@ def make_classifier(name: str, **kwargs) -> Classifier:
 __all__ = [
     "BASE_CLASSIFIERS",
     "AdaBoostM1",
+    "ArtifactError",
     "Bagging",
     "BayesNet",
     "BootstrapCI",
@@ -100,6 +107,8 @@ __all__ = [
     "mcnemar_test",
     "app_level_split",
     "classification_report",
+    "classifier_from_artifact",
+    "export_classifier",
     "confusion_matrix",
     "equal_frequency_cuts",
     "evaluate_detector",

@@ -28,6 +28,15 @@ class NotFittedError(RuntimeError):
     """Raised when predict/predict_proba is called before fit."""
 
 
+class ArtifactError(RuntimeError):
+    """A serialized model artifact is malformed, truncated, or unknown."""
+
+
+#: Classifier classes by name, for rebuilding models from artifacts.
+#: Populated automatically by ``Classifier.__init_subclass__``.
+_ARTIFACT_KINDS: dict[str, type] = {}
+
+
 def check_features(features: np.ndarray) -> np.ndarray:
     """Validate and canonicalize a feature matrix to float64 2-D."""
     features = np.asarray(features, dtype=float)
@@ -87,6 +96,10 @@ class Classifier(abc.ABC):
         self.params: dict = {}
         self.fitted_ = False
 
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        _ARTIFACT_KINDS[cls.__name__] = cls
+
     @abc.abstractmethod
     def fit(
         self,
@@ -116,9 +129,148 @@ class Classifier(abc.ABC):
         if not self.fitted_:
             raise NotFittedError(f"{type(self).__name__} is not fitted")
 
+    # -- serialization (model registry) ---------------------------------
+    def export_artifact(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Serialize the fitted model as ``(spec, arrays)``.
+
+        ``spec`` is a JSON-safe dict (hyper-parameters plus any fitted
+        scalars); ``arrays`` holds the fitted numpy state under stable
+        keys.  :meth:`from_artifact` inverts this exactly — predictions
+        of the rebuilt model must be byte-equal to the original's.
+        """
+        raise ArtifactError(
+            f"{type(self).__name__} does not support artifact export"
+        )
+
+    @classmethod
+    def from_artifact(cls, spec: dict, arrays: dict) -> "Classifier":
+        """Rebuild a fitted model from :meth:`export_artifact` output.
+
+        The arrays may be read-only memory maps; implementations must not
+        mutate them and should keep them as the live inference state so a
+        loaded model shares pages across processes.
+        """
+        raise ArtifactError(f"{cls.__name__} does not support artifact loading")
+
     def __repr__(self) -> str:
         args = ", ".join(f"{k}={v!r}" for k, v in self.params.items())
         return f"{type(self).__name__}({args})"
+
+
+def export_classifier(model: Classifier) -> tuple[dict, dict[str, np.ndarray]]:
+    """``(spec, arrays)`` of a fitted classifier, with ``spec["kind"]`` set.
+
+    The ``kind`` (class name) is what :func:`classifier_from_artifact`
+    dispatches on; everything else is the classifier's own
+    :meth:`Classifier.export_artifact` payload.
+    """
+    spec, arrays = model.export_artifact()
+    spec = dict(spec)
+    spec["kind"] = type(model).__name__
+    return spec, arrays
+
+
+def classifier_from_artifact(spec: dict, arrays: dict) -> Classifier:
+    """Rebuild a fitted classifier from an :func:`export_classifier` payload.
+
+    Raises:
+        ArtifactError: unknown ``kind``, missing arrays, or arrays whose
+            shapes do not assemble into a valid model.
+    """
+    import repro.ml  # noqa: F401  (imports every learner, filling _ARTIFACT_KINDS)
+
+    kind = spec.get("kind")
+    target = _ARTIFACT_KINDS.get(kind) if isinstance(kind, str) else None
+    if target is None:
+        raise ArtifactError(f"unknown classifier kind {kind!r} in artifact spec")
+    try:
+        return target.from_artifact(spec, arrays)
+    except ArtifactError:
+        raise
+    except (KeyError, IndexError, ValueError, TypeError) as exc:
+        raise ArtifactError(f"malformed {kind} artifact: {exc}") from exc
+
+
+def unfitted_spec(model: Classifier) -> dict:
+    """JSON-safe ``{kind, params}`` of an *untrained* prototype.
+
+    Ensembles store this for their base/member prototypes so a loaded
+    ensemble can reconstruct the exact constructor arguments without
+    pickling classifier objects.
+    """
+    return {"kind": type(model).__name__, "params": dict(model.params)}
+
+
+def build_unfitted(spec: dict) -> Classifier:
+    """Instantiate the untrained prototype described by :func:`unfitted_spec`."""
+    import repro.ml  # noqa: F401
+
+    kind = spec.get("kind")
+    target = _ARTIFACT_KINDS.get(kind) if isinstance(kind, str) else None
+    if target is None:
+        raise ArtifactError(f"unknown classifier kind {kind!r} in prototype spec")
+    try:
+        return target(**spec.get("params", {}))
+    except (TypeError, ValueError) as exc:
+        raise ArtifactError(f"invalid {kind} prototype parameters: {exc}") from exc
+
+
+def pack_members(
+    members: list[Classifier], prefix: str = "member_"
+) -> tuple[list[dict], dict[str, np.ndarray]]:
+    """Stack the artifacts of fitted ensemble members into shared arrays.
+
+    Per member, every exported array is flattened (C order) and
+    concatenated per key across members; the returned layout records each
+    member's spec and key→shape map so :func:`unpack_members` can slice
+    the members back out as zero-copy views — including views into a
+    memory-mapped ``.npz`` payload.  Heterogeneous members are fine: the
+    layout is per member, and a key only advances the offset of members
+    that actually use it.
+    """
+    layouts: list[dict] = []
+    chunks: dict[str, list[np.ndarray]] = {}
+    for member in members:
+        spec, arrays = export_classifier(member)
+        layout: dict[str, list[int]] = {}
+        for key in sorted(arrays):
+            arr = np.ascontiguousarray(arrays[key])
+            layout[key] = list(arr.shape)
+            chunks.setdefault(key, []).append(arr.reshape(-1))
+        layouts.append({"spec": spec, "layout": layout})
+    stacked = {
+        prefix + key: np.concatenate(parts) for key, parts in chunks.items()
+    }
+    return layouts, stacked
+
+
+def unpack_members(
+    layouts: list[dict], arrays: dict, prefix: str = "member_"
+) -> list[Classifier]:
+    """Rebuild fitted ensemble members from :func:`pack_members` output.
+
+    The per-member slices are views on the stacked arrays (no copies), so
+    members of a memory-mapped ensemble artifact share the mapped pages.
+    """
+    offsets: dict[str, int] = {}
+    members: list[Classifier] = []
+    for entry in layouts:
+        member_arrays: dict[str, np.ndarray] = {}
+        for key, shape in entry["layout"].items():
+            # asanyarray: slicing a np.memmap stack must hand members
+            # memmap views, not private copies
+            stacked = np.asanyarray(arrays[prefix + key])
+            size = int(np.prod(shape, dtype=np.int64))
+            start = offsets.get(key, 0)
+            if start + size > stacked.size:
+                raise ArtifactError(
+                    f"member array {key!r} is truncated: layout needs "
+                    f"{start + size} elements, stacked payload has {stacked.size}"
+                )
+            member_arrays[key] = stacked[start : start + size].reshape(shape)
+            offsets[key] = start + size
+        members.append(classifier_from_artifact(entry["spec"], member_arrays))
+    return members
 
 
 def proba_from_counts(counts: np.ndarray, prior: float = 1.0) -> np.ndarray:

@@ -134,6 +134,38 @@ class BayesNet(Classifier):
         post = np.exp(log_post)
         return post / post.sum(axis=1, keepdims=True)
 
+    # -- serialization ---------------------------------------------------
+    def export_artifact(self) -> tuple[dict, dict[str, np.ndarray]]:
+        self._require_fitted()
+        assert self.discretizer_ is not None and self.class_prior_ is not None
+        spec = {
+            "params": dict(self.params),
+            "parents": [p if p is None else int(p) for p in self.parents_],
+        }
+        arrays: dict[str, np.ndarray] = {"class_prior": self.class_prior_}
+        for j, cuts in enumerate(self.discretizer_.cut_points):
+            arrays[f"disc_cuts_{j}"] = np.asarray(cuts, dtype=float)
+        for j, cpt in enumerate(self.cpts_):
+            arrays[f"cpt_{j}"] = cpt
+        return spec, arrays
+
+    @classmethod
+    def from_artifact(cls, spec: dict, arrays: dict) -> "BayesNet":
+        model = cls(**spec["params"])
+        parents = spec["parents"]
+        n_attrs = len(parents)
+        model.discretizer_ = Discretizer(
+            cut_points=tuple(
+                tuple(float(c) for c in np.asarray(arrays[f"disc_cuts_{j}"]))
+                for j in range(n_attrs)
+            )
+        )
+        model.class_prior_ = np.asarray(arrays["class_prior"])
+        model.parents_ = [p if p is None else int(p) for p in parents]
+        model.cpts_ = [np.asarray(arrays[f"cpt_{j}"]) for j in range(n_attrs)]
+        model.fitted_ = True
+        return model
+
     @property
     def network_edges(self) -> list[tuple[int, int]]:
         """Attribute-parent edges learned beyond the class parent."""

@@ -13,7 +13,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.base import Classifier, check_features, check_training_set
+from repro.ml.base import (
+    Classifier,
+    build_unfitted,
+    check_features,
+    check_training_set,
+    pack_members,
+    unfitted_spec,
+    unpack_members,
+)
 
 _EPS = 1e-10
 
@@ -128,6 +136,30 @@ class AdaBoostM1(Classifier):
         )
         total = votes.sum(axis=1, keepdims=True)
         return votes / np.where(total > 0, total, 1.0)
+
+    # -- serialization ---------------------------------------------------
+    def export_artifact(self) -> tuple[dict, dict[str, np.ndarray]]:
+        self._require_fitted()
+        members, arrays = pack_members(self.estimators_)
+        spec = {
+            "params": {
+                "n_estimators": self.n_estimators,
+                "use_resampling": self.use_resampling,
+                "seed": self.seed,
+            },
+            "base": unfitted_spec(self.base),
+            "weights": [float(w) for w in self.estimator_weights_],
+            "members": members,
+        }
+        return spec, arrays
+
+    @classmethod
+    def from_artifact(cls, spec: dict, arrays: dict) -> "AdaBoostM1":
+        model = cls(base=build_unfitted(spec["base"]), **spec["params"])
+        model.estimators_ = unpack_members(spec["members"], arrays)
+        model.estimator_weights_ = [float(w) for w in spec["weights"]]
+        model.fitted_ = True
+        return model
 
     @property
     def n_models(self) -> int:

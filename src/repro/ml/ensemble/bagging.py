@@ -15,7 +15,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.base import Classifier, check_features, check_training_set
+from repro.ml.base import (
+    Classifier,
+    build_unfitted,
+    check_features,
+    check_training_set,
+    pack_members,
+    unfitted_spec,
+    unpack_members,
+)
 
 
 class Bagging(Classifier):
@@ -106,6 +114,31 @@ class Bagging(Classifier):
         # order, bit-identical to the old accumulation loop)
         stacked = np.stack([m.predict_proba(features) for m in self.estimators_])
         return stacked.sum(axis=0) / len(self.estimators_)
+
+    # -- serialization ---------------------------------------------------
+    def export_artifact(self) -> tuple[dict, dict[str, np.ndarray]]:
+        self._require_fitted()
+        members, arrays = pack_members(self.estimators_)
+        spec = {
+            "params": {
+                "n_estimators": self.n_estimators,
+                "bag_fraction": self.bag_fraction,
+                "seed": self.seed,
+            },
+            "base": unfitted_spec(self.base),
+            "oob_accuracy": self.oob_accuracy_,
+            "members": members,
+        }
+        return spec, arrays
+
+    @classmethod
+    def from_artifact(cls, spec: dict, arrays: dict) -> "Bagging":
+        model = cls(base=build_unfitted(spec["base"]), **spec["params"])
+        model.estimators_ = unpack_members(spec["members"], arrays)
+        oob = spec["oob_accuracy"]
+        model.oob_accuracy_ = float(oob) if oob is not None else None
+        model.fitted_ = True
+        return model
 
     @property
     def n_models(self) -> int:

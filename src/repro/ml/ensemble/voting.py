@@ -19,7 +19,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.base import Classifier, check_features, check_training_set
+from repro.ml.base import (
+    Classifier,
+    build_unfitted,
+    check_features,
+    check_training_set,
+    pack_members,
+    unfitted_spec,
+    unpack_members,
+)
 
 
 class VotingEnsemble(Classifier):
@@ -155,6 +163,33 @@ class VotingEnsemble(Classifier):
             )
         sums = total.sum(axis=1, keepdims=True)
         return total / np.where(sums > 0, sums, 1.0)
+
+    # -- serialization ---------------------------------------------------
+    def export_artifact(self) -> tuple[dict, dict[str, np.ndarray]]:
+        self._require_fitted()
+        assert self.fitted_weights_ is not None
+        members, arrays = pack_members(self.fitted_members_)
+        spec = {
+            "params": {
+                "voting": self.voting,
+                "weights": self.weights,
+                "holdout_fraction": self.holdout_fraction,
+                "seed": self.seed,
+            },
+            "prototypes": [unfitted_spec(m) for m in self.members],
+            "members": members,
+        }
+        arrays["vote_weights"] = self.fitted_weights_
+        return spec, arrays
+
+    @classmethod
+    def from_artifact(cls, spec: dict, arrays: dict) -> "VotingEnsemble":
+        prototypes = [build_unfitted(p) for p in spec["prototypes"]]
+        model = cls(members=prototypes, **spec["params"])
+        model.fitted_members_ = unpack_members(spec["members"], arrays)
+        model.fitted_weights_ = np.asarray(arrays["vote_weights"])
+        model.fitted_ = True
+        return model
 
     @property
     def member_weights(self) -> np.ndarray:

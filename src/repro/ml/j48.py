@@ -145,6 +145,33 @@ class J48(Classifier):
         assert self._flat is not None
         return proba_from_counts(self._flat.leaf_counts(features))
 
+    # -- serialization ---------------------------------------------------
+    def export_artifact(self) -> tuple[dict, dict[str, np.ndarray]]:
+        self._require_fitted()
+        assert self._flat is not None
+        flat = self._flat
+        return {"params": dict(self.params)}, {
+            "tree_attribute": flat.attribute,
+            "tree_threshold": flat.threshold,
+            "tree_left": flat.left,
+            "tree_right": flat.right,
+            "tree_counts": flat.counts,
+        }
+
+    @classmethod
+    def from_artifact(cls, spec: dict, arrays: dict) -> "J48":
+        model = cls(**spec["params"])
+        model._flat = FlatTree.from_arrays(
+            arrays["tree_attribute"],
+            arrays["tree_threshold"],
+            arrays["tree_left"],
+            arrays["tree_right"],
+            arrays["tree_counts"],
+        )
+        model.root_ = model._flat.nodes[0]
+        model.fitted_ = True
+        return model
+
     # -- structure, for the hardware model and reports ------------------
     @property
     def tree_size(self) -> int:

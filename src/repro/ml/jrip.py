@@ -172,6 +172,46 @@ class CompiledRuleList:
             else np.zeros((0, 2))
         )
 
+    @classmethod
+    def from_arrays(
+        cls,
+        attributes: np.ndarray,
+        thresholds: np.ndarray,
+        negate: np.ndarray,
+        offsets: np.ndarray,
+        rule_counts: np.ndarray,
+    ) -> "CompiledRuleList":
+        """Rebuild a compiled rule list from its parallel arrays.
+
+        Inverse of the compiling constructor; the arrays become the live
+        inference state verbatim (they may be read-only memory maps).
+        """
+        attributes = np.asanyarray(attributes)
+        thresholds = np.asanyarray(thresholds)
+        negate = np.asanyarray(negate)
+        offsets = np.asanyarray(offsets)
+        rule_counts = np.asanyarray(rule_counts)
+        n_conditions = attributes.shape[0]
+        if thresholds.shape != (n_conditions,) or negate.shape != (n_conditions,):
+            raise ValueError("condition arrays are misaligned")
+        n_rules = rule_counts.shape[0]
+        if rule_counts.shape != (n_rules, 2):
+            raise ValueError("rule_counts must have shape (n_rules, 2)")
+        if n_rules and (
+            offsets.shape != (n_rules,)
+            or offsets[0] != 0
+            or np.any(np.diff(offsets) <= 0)
+            or offsets[-1] >= n_conditions
+        ):
+            raise ValueError("rule offsets are not a valid segmentation")
+        compiled = cls.__new__(cls)
+        compiled.attributes = attributes
+        compiled.thresholds = thresholds
+        compiled.negate = negate
+        compiled.offsets = offsets
+        compiled.rule_counts = rule_counts
+        return compiled
+
     @property
     def n_rules(self) -> int:
         return self.rule_counts.shape[0]
@@ -478,6 +518,59 @@ class JRip(Classifier):
         counts = self._compiled.apply(features, self.default_counts_)
         smoothed = counts + 1.0
         return smoothed / smoothed.sum(axis=1, keepdims=True)
+
+    # -- serialization ---------------------------------------------------
+    def export_artifact(self) -> tuple[dict, dict[str, np.ndarray]]:
+        self._require_fitted()
+        assert self.default_counts_ is not None
+        if self._compiled is None:
+            self._compiled = CompiledRuleList(self.rules_)
+        compiled = self._compiled
+        spec = {
+            "params": dict(self.params),
+            "positive_class": int(self.positive_class_),
+        }
+        return spec, {
+            "cond_attribute": compiled.attributes,
+            "cond_threshold": compiled.thresholds,
+            "cond_negate": compiled.negate,
+            "rule_offsets": compiled.offsets,
+            "rule_counts": compiled.rule_counts,
+            "default_counts": self.default_counts_,
+        }
+
+    @classmethod
+    def from_artifact(cls, spec: dict, arrays: dict) -> "JRip":
+        model = cls(**spec["params"])
+        compiled = CompiledRuleList.from_arrays(
+            arrays["cond_attribute"],
+            arrays["cond_threshold"],
+            arrays["cond_negate"],
+            arrays["rule_offsets"],
+            arrays["rule_counts"],
+        )
+        # rebuild the structural rule list (hardware cost model, __str__)
+        # from the compiled segmentation; prediction keeps the arrays
+        bounds = np.append(compiled.offsets, compiled.attributes.shape[0])
+        rules = []
+        for r in range(compiled.n_rules):
+            conditions = [
+                Condition(
+                    int(compiled.attributes[i]),
+                    ">" if compiled.negate[i] else "<=",
+                    float(compiled.thresholds[i]),
+                )
+                for i in range(int(bounds[r]), int(bounds[r + 1]))
+            ]
+            rules.append(
+                Rule(conditions, np.array(compiled.rule_counts[r], dtype=float))
+            )
+        model.rules_ = rules
+        model.positive_class_ = int(spec["positive_class"])
+        model.default_counts_ = np.asanyarray(arrays["default_counts"])
+        model._compiled = compiled
+        model.fitted_ = True
+        return model
 
     # -- structure, for the hardware model and reports ------------------
     @property

@@ -246,6 +246,35 @@ class MLP(Classifier):
         total = out.sum(axis=1, keepdims=True)
         return out / np.where(total > 0, total, 1.0)
 
+    # -- serialization ---------------------------------------------------
+    def export_artifact(self) -> tuple[dict, dict[str, np.ndarray]]:
+        self._require_fitted()
+        assert self.scaler_ is not None
+        assert self.w_hidden_ is not None and self.w_out_ is not None
+        assert self.b_hidden_ is not None and self.b_out_ is not None
+        return {"params": dict(self.params)}, {
+            "scaler_mean": self.scaler_.mean,
+            "scaler_scale": self.scaler_.scale,
+            "w_hidden": self.w_hidden_,
+            "b_hidden": self.b_hidden_,
+            "w_out": self.w_out_,
+            "b_out": self.b_out_,
+        }
+
+    @classmethod
+    def from_artifact(cls, spec: dict, arrays: dict) -> "MLP":
+        model = cls(**spec["params"])
+        model.scaler_ = StandardScaler(
+            mean=np.asarray(arrays["scaler_mean"]),
+            scale=np.asarray(arrays["scaler_scale"]),
+        )
+        model.w_hidden_ = np.asarray(arrays["w_hidden"])
+        model.b_hidden_ = np.asarray(arrays["b_hidden"])
+        model.w_out_ = np.asarray(arrays["w_out"])
+        model.b_out_ = np.asarray(arrays["b_out"])
+        model.fitted_ = True
+        return model
+
     # -- structure, for the hardware model -------------------------------
     @property
     def layer_sizes(self) -> tuple[int, int, int]:

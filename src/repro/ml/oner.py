@@ -240,6 +240,28 @@ class OneR(Classifier):
         buckets = np.searchsorted(self.cut_points_, features[:, self.attribute_], side="left")
         return proba_from_counts(self.bucket_counts_[buckets])
 
+    # -- serialization ---------------------------------------------------
+    def export_artifact(self) -> tuple[dict, dict[str, np.ndarray]]:
+        self._require_fitted()
+        assert self.attribute_ is not None
+        assert self.cut_points_ is not None and self.bucket_counts_ is not None
+        spec = {"params": dict(self.params), "attribute": int(self.attribute_)}
+        return spec, {
+            "cut_points": self.cut_points_,
+            "bucket_counts": self.bucket_counts_,
+        }
+
+    @classmethod
+    def from_artifact(cls, spec: dict, arrays: dict) -> "OneR":
+        model = cls(**spec["params"])
+        model.attribute_ = int(spec["attribute"])
+        model.cut_points_ = np.asarray(arrays["cut_points"])
+        model.bucket_counts_ = np.asarray(arrays["bucket_counts"])
+        if model.bucket_counts_.ndim != 2 or model.bucket_counts_.shape[1] != 2:
+            raise ValueError("bucket_counts must have shape (n_buckets, 2)")
+        model.fitted_ = True
+        return model
+
     @property
     def chosen_attribute(self) -> int:
         """Index of the single attribute the rule uses."""

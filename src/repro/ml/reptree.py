@@ -149,6 +149,33 @@ class REPTree(Classifier):
         assert self._flat is not None
         return proba_from_counts(self._flat.leaf_counts(features))
 
+    # -- serialization ---------------------------------------------------
+    def export_artifact(self) -> tuple[dict, dict[str, np.ndarray]]:
+        self._require_fitted()
+        assert self._flat is not None
+        flat = self._flat
+        return {"params": dict(self.params)}, {
+            "tree_attribute": flat.attribute,
+            "tree_threshold": flat.threshold,
+            "tree_left": flat.left,
+            "tree_right": flat.right,
+            "tree_counts": flat.counts,
+        }
+
+    @classmethod
+    def from_artifact(cls, spec: dict, arrays: dict) -> "REPTree":
+        model = cls(**spec["params"])
+        model._flat = FlatTree.from_arrays(
+            arrays["tree_attribute"],
+            arrays["tree_threshold"],
+            arrays["tree_left"],
+            arrays["tree_right"],
+            arrays["tree_counts"],
+        )
+        model.root_ = model._flat.nodes[0]
+        model.fitted_ = True
+        return model
+
     def predict_leaf(self, row: np.ndarray) -> TreeNode:
         """Leaf node a single feature row routes to (for introspection)."""
         self._require_fitted()

@@ -216,6 +216,29 @@ class SGD(Classifier):
         p1 = 1.0 / (1.0 + np.exp(-np.clip(margin, -35, 35)))
         return np.column_stack([1.0 - p1, p1])
 
+    # -- serialization ---------------------------------------------------
+    def export_artifact(self) -> tuple[dict, dict[str, np.ndarray]]:
+        self._require_fitted()
+        assert self.scaler_ is not None and self.weights_ is not None
+        spec = {"params": dict(self.params), "bias": float(self.bias_)}
+        return spec, {
+            "scaler_mean": self.scaler_.mean,
+            "scaler_scale": self.scaler_.scale,
+            "weights": self.weights_,
+        }
+
+    @classmethod
+    def from_artifact(cls, spec: dict, arrays: dict) -> "SGD":
+        model = cls(**spec["params"])
+        model.scaler_ = StandardScaler(
+            mean=np.asarray(arrays["scaler_mean"]),
+            scale=np.asarray(arrays["scaler_scale"]),
+        )
+        model.weights_ = np.asarray(arrays["weights"])
+        model.bias_ = float(spec["bias"])
+        model.fitted_ = True
+        return model
+
     @property
     def n_weights(self) -> int:
         """Weight count incl. bias (hardware multiply-accumulate chain)."""

@@ -446,6 +446,51 @@ class SMO(Classifier):
             p1 = (margins >= 0).astype(float)
         return np.column_stack([1.0 - p1, p1])
 
+    # -- serialization ---------------------------------------------------
+    def export_artifact(self) -> tuple[dict, dict[str, np.ndarray]]:
+        self._require_fitted()
+        assert self.scaler_ is not None and self.alpha_ is not None
+        assert self.support_x_ is not None and self.support_y_ is not None
+        spec = {
+            "params": dict(self.params),
+            "bias": float(self.bias_),
+            "logistic_ab": (
+                [float(self.logistic_ab_[0]), float(self.logistic_ab_[1])]
+                if self.logistic_ab_ is not None
+                else None
+            ),
+        }
+        arrays = {
+            "scaler_mean": self.scaler_.mean,
+            "scaler_scale": self.scaler_.scale,
+            "alpha": self.alpha_,
+            "support_x": self.support_x_,
+            "support_y": self.support_y_,
+        }
+        if self.weights_ is not None:
+            arrays["weights"] = self.weights_
+        return spec, arrays
+
+    @classmethod
+    def from_artifact(cls, spec: dict, arrays: dict) -> "SMO":
+        model = cls(**spec["params"])
+        model.scaler_ = StandardScaler(
+            mean=np.asarray(arrays["scaler_mean"]),
+            scale=np.asarray(arrays["scaler_scale"]),
+        )
+        model.alpha_ = np.asarray(arrays["alpha"])
+        model.bias_ = float(spec["bias"])
+        model.support_x_ = np.asarray(arrays["support_x"])
+        model.support_y_ = np.asarray(arrays["support_y"])
+        if "weights" in arrays:
+            model.weights_ = np.asarray(arrays["weights"])
+        elif model.kernel == "linear":
+            raise ValueError("linear-kernel SMO artifact is missing weights")
+        ab = spec["logistic_ab"]
+        model.logistic_ab_ = (float(ab[0]), float(ab[1])) if ab is not None else None
+        model.fitted_ = True
+        return model
+
     @property
     def n_support_vectors(self) -> int:
         self._require_fitted()

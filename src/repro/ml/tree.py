@@ -379,6 +379,54 @@ class FlatTree:
                 self.left[i] = index[id(node.left)]
                 self.right[i] = index[id(node.right)]
 
+    @classmethod
+    def from_arrays(
+        cls,
+        attribute: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        counts: np.ndarray,
+    ) -> "FlatTree":
+        """Rebuild a flat tree (and its pointer form) from parallel arrays.
+
+        Inverse of the flattening constructor: the arrays become the live
+        inference state verbatim (they may be read-only memory maps), and
+        the :class:`TreeNode` pointer graph is re-linked so structural
+        accessors (``nodes[0]`` is the root, as in preorder flattening)
+        keep working on loaded models.
+        """
+        attribute = np.asanyarray(attribute)
+        threshold = np.asanyarray(threshold)
+        left = np.asanyarray(left)
+        right = np.asanyarray(right)
+        counts = np.asanyarray(counts)
+        n = attribute.shape[0]
+        if n == 0 or counts.shape != (n, 2):
+            raise ValueError("tree arrays are empty or misaligned")
+        shapes = (threshold.shape, left.shape, right.shape)
+        if any(shape != (n,) for shape in shapes):
+            raise ValueError("tree arrays are misaligned")
+        nodes = [TreeNode(counts=counts[i]) for i in range(n)]
+        for i in range(n):
+            if attribute[i] >= 0:
+                li, ri = int(left[i]), int(right[i])
+                if not (0 <= li < n and 0 <= ri < n):
+                    raise ValueError(f"child index out of range at node {i}")
+                node = nodes[i]
+                node.attribute = int(attribute[i])
+                node.threshold = float(threshold[i])
+                node.left = nodes[li]
+                node.right = nodes[ri]
+        flat = cls.__new__(cls)
+        flat.nodes = tuple(nodes)
+        flat.attribute = attribute
+        flat.threshold = threshold
+        flat.left = left
+        flat.right = right
+        flat.counts = counts
+        return flat
+
     @property
     def n_nodes(self) -> int:
         return len(self.nodes)

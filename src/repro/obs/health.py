@@ -55,6 +55,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, ClassVar, TextIO
 
+from repro.ioutil import atomic_write_text, to_jsonable
 from repro.obs.metrics import FAST_LATENCY_BUCKETS, NULL_REGISTRY, Registry
 from repro.obs.stats import histogram_quantile
 from repro.obs.trace import NULL_TRACER, Tracer
@@ -796,11 +797,13 @@ class HealthEvaluator:
             }
 
     def dump(self, path: str | Path) -> None:
-        """Write the final health report to ``path`` as JSON."""
-        path = Path(path)
-        if path.parent != Path(""):
-            path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.report(), indent=1, default=str))
+        """Atomically write the final health report to ``path`` as JSON.
+
+        The payload is coerced to native Python types first: numpy
+        scalars leaking into ``json.dumps(..., default=str)`` used to be
+        silently stringified, corrupting downstream consumers' types.
+        """
+        atomic_write_text(path, json.dumps(to_jsonable(self.report()), indent=1))
 
 
 def _fmt_value(value) -> str:

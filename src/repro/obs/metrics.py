@@ -23,6 +23,8 @@ import threading
 from bisect import bisect_left
 from pathlib import Path
 
+from repro.ioutil import atomic_write_text
+
 #: Wall-time buckets for second-scale stages (fit/eval/cache writes).
 DEFAULT_LATENCY_BUCKETS = (
     0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
@@ -284,11 +286,13 @@ class Registry:
         return json.dumps(self.snapshot(), indent=1)
 
     def dump(self, path: str | Path) -> None:
-        """Write the JSON snapshot to ``path``."""
-        path = Path(path)
-        if path.parent != Path(""):
-            path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(self.to_json())
+        """Atomically write the JSON snapshot to ``path``.
+
+        A crash mid-dump must leave the previous snapshot readable — the
+        ``stats``/``watch``/``report --ingest-metrics`` consumers fail
+        hard on torn JSON.
+        """
+        atomic_write_text(path, self.to_json())
 
 
 def merge_snapshots(snapshots) -> dict:

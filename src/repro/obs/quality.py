@@ -49,8 +49,6 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-import os
-import tempfile
 import threading
 import time
 from collections import deque
@@ -60,6 +58,7 @@ from typing import Callable, ClassVar, TextIO
 
 import numpy as np
 
+from repro.ioutil import atomic_write_text, to_jsonable
 from repro.obs.archive import DRIFT_RULE
 from repro.obs.health import AlertRule, AlertState, parse_alert_spec
 from repro.obs.metrics import NULL_REGISTRY, Registry
@@ -227,25 +226,6 @@ def _ks_rows(ref_counts: np.ndarray, live_counts: np.ndarray) -> np.ndarray:
         )
     out[(n_ref.ravel() <= 0) | (n_live.ravel() <= 0)] = _NAN
     return out
-
-
-def _atomic_write_text(path: Path, text: str) -> None:
-    # Same crash-safety discipline as repro.analysis.cache: write to a
-    # sibling temp file, fsync, then atomically replace.
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(text)
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
 
 
 # -- reference profile -------------------------------------------------
@@ -502,7 +482,7 @@ class ReferenceProfile:
         """Atomically write the profile as JSON; returns its profile_id."""
         data = self.to_dict()
         data["profile_id"] = self.profile_id
-        _atomic_write_text(Path(path), json.dumps(data, indent=1))
+        atomic_write_text(Path(path), json.dumps(data, indent=1))
         return data["profile_id"]
 
     @classmethod
@@ -1212,11 +1192,13 @@ class QualityTracker:
             }
 
     def dump(self, path: str | Path) -> None:
-        """Write the final quality report to ``path`` as JSON."""
-        path = Path(path)
-        if path.parent != Path(""):
-            path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(self.report(), indent=1, default=str))
+        """Atomically write the final quality report to ``path`` as JSON.
+
+        The payload is coerced to native Python types first: numpy
+        scalars leaking into ``json.dumps(..., default=str)`` used to be
+        silently stringified, corrupting downstream consumers' types.
+        """
+        atomic_write_text(path, json.dumps(to_jsonable(self.report()), indent=1))
 
 
 def _fmt_signal(value: float) -> str:

@@ -46,6 +46,16 @@ pool — so verdicts (and their order in the report, which is submission
 order) are bit-identical to serial monitoring at any producer × worker
 geometry.  With multiple producers the *interleaving* of per-host alert
 events may vary; the verdicts never do.
+
+Registry warm-start: workers are threads, so every worker classifies
+through the *same* detector object.  A detector loaded via
+:meth:`repro.registry.ModelRegistry.load_detector` keeps its compiled
+inference arrays as read-only memory-mapped views of the on-disk
+payload — one physical copy of the model serves all workers (and all
+service processes pointed at the same registry), with zero refit or
+re-flatten at startup.  Inference only reads those arrays, so the
+mmap-backed detector honours the same bit-identical verdict contract
+as a freshly fitted one.
 """
 
 from __future__ import annotations

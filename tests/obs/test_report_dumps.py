@@ -1,0 +1,203 @@
+"""Regressions for the report/metrics dump sites.
+
+Two historical bugs, pinned here so they stay dead:
+
+* **Torn writes** — ``Registry.dump``, ``HealthEvaluator.dump`` and
+  ``QualityTracker.dump`` used a bare ``Path.write_text``: a crash
+  mid-dump left a truncated, unparseable file where the previous good
+  snapshot used to be.  All three must route through the shared atomic
+  writer (``repro.ioutil``): on any failure the previous complete file
+  survives byte-for-byte.
+
+* **Numpy stringification** — the health/quality reports are assembled
+  from numpy arithmetic, and ``json.dumps(..., default=str)`` silently
+  turned any leaked ``np.float64``/``np.int64`` into a *string*,
+  corrupting the types downstream parsers see.  Dumped numbers must
+  round-trip as ``int``/``float``, never ``str``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import numpy as np
+import pytest
+
+import repro.ioutil
+from repro.ioutil import atomic_write_text
+from repro.obs import HealthEvaluator, QualityTracker, Registry, parse_alert_spec
+
+from .test_quality import make_profile
+
+OLD = json.dumps({"snapshot": "previous", "value": 1})
+
+
+class Boom(RuntimeError):
+    pass
+
+
+def _fill_health():
+    evaluator = HealthEvaluator(
+        rules=[parse_alert_spec("degraded_ratio>=0.5:critical")],
+        clock=lambda: 0.0,
+    )
+    # numpy scalars straight from verdict arithmetic — the exact leak
+    # default=str used to stringify
+    for t in range(6):
+        evaluator.observe_verdict(
+            f"app{t}",
+            is_malware=np.bool_(t % 2 == 0),
+            degraded=np.bool_(t % 3 == 0),
+            n_windows=np.int64(8),
+            n_windows_lost=np.int64(1),
+            retries=np.int64(t % 2),
+            ts=np.float64(t),
+        )
+        evaluator.observe_classify(np.float64(0.001), n=np.int64(8), ts=np.float64(t))
+    return evaluator
+
+
+def _fill_quality():
+    tracker = QualityTracker(
+        make_profile(),
+        window_s=1000.0,
+        min_windows=4,
+        min_executions=1,
+        eval_interval_s=0.0,
+        clock=lambda: 0.0,
+    )
+    rng = np.random.default_rng(11)
+    for i in range(6):
+        tracker.observe_execution(
+            f"host{i % 2}",
+            rng.uniform(0.0, 1.0, size=(10, 2)),
+            rng.uniform(0.0, 1.0, 10),
+            margin=np.float64(0.25),
+            truth=np.bool_(i % 2 == 0),
+            ts=np.float64(float(i)),
+        )
+    return tracker
+
+
+def _fill_metrics():
+    registry = Registry()
+    registry.counter("requests_total", "requests").inc(np.int64(3))
+    registry.histogram("latency_s", "latency").observe(np.float64(0.5))
+    return registry
+
+
+DUMPERS = [
+    pytest.param(_fill_metrics, id="metrics"),
+    pytest.param(_fill_health, id="health"),
+    pytest.param(_fill_quality, id="quality"),
+]
+
+
+# -- torn writes -------------------------------------------------------
+
+
+def test_atomic_writer_failure_keeps_previous_file(tmp_path, monkeypatch):
+    target = tmp_path / "out.json"
+    atomic_write_text(target, OLD)
+
+    def torn_replace(src, dst):
+        raise Boom("crash between temp write and rename")
+
+    monkeypatch.setattr(repro.ioutil.os, "replace", torn_replace)
+    with pytest.raises(Boom):
+        atomic_write_text(target, json.dumps({"snapshot": "new"}))
+    assert json.loads(target.read_text()) == json.loads(OLD)
+    # the failed attempt's temp file was cleaned up
+    assert list(tmp_path.iterdir()) == [target]
+
+
+@pytest.mark.parametrize("fill", DUMPERS)
+def test_dump_crash_leaves_previous_snapshot_intact(fill, tmp_path, monkeypatch):
+    """Simulated crash mid-dump: the old snapshot must stay readable.
+
+    A dump site regressing to a bare ``write_text`` fails this two
+    ways: the patched rename never fires (no exception), and the old
+    payload is clobbered by the partial/new one.
+    """
+    target = tmp_path / "report.json"
+    target.write_text(OLD)
+    monkeypatch.setattr(
+        repro.ioutil.os,
+        "replace",
+        lambda src, dst: (_ for _ in ()).throw(Boom("torn write")),
+    )
+    with pytest.raises(Boom):
+        fill().dump(target)
+    assert json.loads(target.read_text()) == json.loads(OLD)
+
+
+@pytest.mark.parametrize("fill", DUMPERS)
+def test_dump_writes_complete_parseable_json(fill, tmp_path):
+    target = tmp_path / "report.json"
+    fill().dump(target)
+    payload = json.loads(target.read_text())
+    assert isinstance(payload, dict) and payload
+
+
+# -- numpy stringification ---------------------------------------------
+
+_NUMERIC_STR = re.compile(r"-?\d+(\.\d+)?([eE][+-]?\d+)?")
+
+
+def _assert_no_stringified_numbers(node, path="$"):
+    if isinstance(node, dict):
+        for key, value in node.items():
+            _assert_no_stringified_numbers(value, f"{path}.{key}")
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            _assert_no_stringified_numbers(value, f"{path}[{i}]")
+    elif isinstance(node, str):
+        assert not _NUMERIC_STR.fullmatch(node), (
+            f"{path} is the *string* {node!r} — a numpy scalar was "
+            "stringified instead of coerced to a native number"
+        )
+        assert "np." not in node, f"{path} leaked a numpy repr: {node!r}"
+
+
+@pytest.mark.parametrize("fill", DUMPERS)
+def test_dumped_numbers_round_trip_as_numbers(fill, tmp_path):
+    target = tmp_path / "report.json"
+    fill().dump(target)
+    _assert_no_stringified_numbers(json.loads(target.read_text()))
+
+
+def test_health_report_values_are_native(tmp_path):
+    evaluator = _fill_health()
+    target = tmp_path / "health.json"
+    evaluator.dump(target)
+    payload = json.loads(target.read_text())
+    signals = payload["signals"]
+    assert signals, "expected live signals in the health report"
+    for name, value in signals.items():
+        assert value is None or isinstance(value, (int, float)), (
+            f"signal {name} round-tripped as {type(value).__name__}"
+        )
+
+
+def test_quality_report_values_are_native(tmp_path):
+    tracker = _fill_quality()
+    target = tmp_path / "quality.json"
+    tracker.dump(target)
+    payload = json.loads(target.read_text())
+
+    def leaves(node):
+        if isinstance(node, dict):
+            for v in node.values():
+                yield from leaves(v)
+        elif isinstance(node, list):
+            for v in node:
+                yield from leaves(v)
+        else:
+            yield node
+    kinds = {type(leaf) for leaf in leaves(payload)}
+    assert float in kinds or int in kinds
+    # a numpy scalar in the payload would have crashed json.dumps
+    # (no default= hook anymore) — but double-check nothing was
+    # pre-stringified either
+    _assert_no_stringified_numbers(payload)
